@@ -1,0 +1,78 @@
+"""Multi-GPU extension study (the paper's §7 future work).
+
+Runs the 1-D-partition multi-GPU prototype on a power-law and a road
+dataset over 1/2/4/8 GPUs and two interconnects, showing the classic
+result that motivates the "future work" framing: frontier exchange over
+the interconnect eats the per-GPU compute savings at SSSP's small
+per-superstep work volumes, and a faster interconnect moves the
+break-even point.
+"""
+
+from functools import lru_cache
+
+from repro.bench import benchmark_spec, format_table, get_graph, pick_sources, write_results
+from repro.gpusim import NVLINK2_GBPS, PCIE3_GBPS, multi_gpu_sssp
+from repro.sssp import validate_distances
+
+DATASETS = ("soc-PK", "road-TX")
+GPU_COUNTS = (1, 2, 4, 8)
+
+
+@lru_cache(maxsize=1)
+def multigpu_matrix():
+    spec = benchmark_spec()
+    rows = []
+    for name in DATASETS:
+        g = get_graph(name)
+        src = pick_sources(name, 1)[0]
+        for bw_name, bw in (("PCIe3", PCIE3_GBPS), ("NVLink2", NVLINK2_GBPS)):
+            for ng in GPU_COUNTS:
+                r = multi_gpu_sssp(
+                    g, src, num_gpus=ng, spec=spec, interconnect_gbps=bw
+                )
+                validate_distances(g, src, r.dist)
+                rows.append(
+                    [
+                        name,
+                        bw_name,
+                        ng,
+                        round(r.time_ms, 4),
+                        round(r.compute_time_ms, 4),
+                        round(r.exchange_time_ms, 4),
+                        round(r.exchange_fraction, 3),
+                        r.supersteps,
+                    ]
+                )
+    return rows
+
+
+def test_ablation_multigpu_scaling(benchmark):
+    rows = benchmark.pedantic(multigpu_matrix, rounds=1, iterations=1)
+    text = format_table(
+        [
+            "dataset", "link", "gpus", "total ms", "compute ms",
+            "exchange ms", "exch frac", "supersteps",
+        ],
+        rows,
+        title="Extension — multi-GPU 1-D partition scaling (§7 future work)",
+    )
+    print("\n" + text)
+    write_results("ablation_multigpu.txt", text)
+
+    def cell(name, link, ng):
+        return next(
+            r for r in rows if r[0] == name and r[1] == link and r[2] == ng
+        )
+
+    for name in DATASETS:
+        # a single GPU has no exchange cost
+        assert cell(name, "PCIe3", 1)[5] == 0.0
+        # exchange cost appears and grows with GPU count
+        assert cell(name, "PCIe3", 8)[5] > 0.0
+        # the faster interconnect never loses to the slower one
+        for ng in GPU_COUNTS[1:]:
+            assert cell(name, "NVLink2", ng)[5] <= cell(name, "PCIe3", ng)[5]
+        # the motivating negative result: at surrogate scale, multi-GPU
+        # does not beat one GPU (exchange dominates) — the reason the
+        # paper leaves multi-GPU to future work
+        assert cell(name, "PCIe3", 8)[3] >= cell(name, "PCIe3", 1)[3] * 0.8

@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+Every bench test takes the ``benchmark`` fixture so the whole suite runs
+under ``pytest benchmarks/ --benchmark-only``.  Expensive sweeps are
+memoized at module level, so pytest-benchmark's repeated calls reuse the
+computed matrices and only time the core runs.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _print_blank_line_for_table_readability(capsys):
+    yield

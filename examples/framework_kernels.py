@@ -1,0 +1,62 @@
+"""The graph-processing framework beyond SSSP (the paper's §7 direction).
+
+The paper closes with "a high-performance graph processing framework" as
+future work.  This example runs the three framework kernels built on the
+same simulated substrate — BFS, connected components and PageRank — over
+one social-network surrogate, and shows that the paper's adaptive load
+balancing (ADWL) transfers to BFS unchanged.
+
+Run with:  python examples/framework_kernels.py
+"""
+
+import numpy as np
+
+import repro
+from repro.graphalgs import bfs_gpu, connected_components_gpu, pagerank_gpu
+from repro.graphs import largest_component_vertices, load
+
+SPEC = repro.V100.scaled_for_workload(1 / 64)
+
+g = load("soc-PK")
+src = int(largest_component_vertices(g)[0])
+print(f"dataset: {g}")
+
+# --- BFS: the ADWL transfer --------------------------------------------------
+adaptive = bfs_gpu(g, src, spec=SPEC, adaptive=True)
+static = bfs_gpu(g, src, spec=SPEC, adaptive=False)
+print(
+    f"\nBFS from {src}: depth {adaptive.extra['depth']}, "
+    f"{int(np.isfinite(adaptive.dist).sum())} reached"
+)
+print(f"  adaptive (ADWL-style) : {adaptive.time_ms:.4f} ms")
+print(f"  static thread/vertex  : {static.time_ms:.4f} ms "
+      f"({static.time_ms / adaptive.time_ms:.1f}x slower)")
+print(
+    "  -> the same hub-vertex critical path that motivates ADWL for SSSP"
+    "\n     phase 1 dominates static BFS expansion on power-law graphs."
+)
+
+# --- connected components -----------------------------------------------------
+cc = connected_components_gpu(g, spec=SPEC)
+sizes = np.sort(cc.component_sizes())[::-1]
+print(
+    f"\nconnected components: {cc.num_components} "
+    f"(largest {sizes[0]} vertices) in {cc.rounds} propagation rounds, "
+    f"{cc.time_ms:.4f} ms"
+)
+
+# --- PageRank ------------------------------------------------------------------
+pr = pagerank_gpu(g, spec=SPEC, tol=1e-9)
+top = pr.top(5)
+deg = g.degrees
+print(
+    f"\nPageRank: converged in {pr.iterations} iterations, "
+    f"{pr.time_ms:.4f} ms"
+)
+print(f"{'rank':>6} {'vertex':>8} {'degree':>8} {'score':>10}")
+for i, v in enumerate(top):
+    print(f"{i + 1:>6} {int(v):>8} {int(deg[v]):>8} {pr.ranks[v]:>10.6f}")
+print(
+    "\nhigh-degree hubs dominate the ranking — the same vertices PRO packs"
+    "\ninto the hot low-address region for SSSP."
+)

@@ -1,0 +1,88 @@
+"""Walk through the paper's worked examples (Fig. 1 and Fig. 4) in code.
+
+Reconstructs the 8-vertex motivation graph of Fig. 1, shows the valid /
+invalid update analysis of Fig. 1(b), then applies property-driven
+reordering to the Fig. 4 graph and prints the exact CSR arrays of
+Fig. 4(c) — the reproduction's ground-zero fidelity checks, live.
+
+Run with:  python examples/paper_walkthrough.py
+"""
+
+import numpy as np
+
+import repro
+from repro.graphs import paper_fig1_graph, paper_fig4_graph
+from repro.reorder import apply_pro
+from repro.sssp import bl_sssp, rdbs_sssp, validate_distances
+
+SPEC = repro.V100.scaled_for_workload(1 / 64)
+
+# ---------------------------------------------------------------------------
+# Fig. 1: the motivation graph
+# ---------------------------------------------------------------------------
+g1 = paper_fig1_graph()
+print("Fig. 1(a) — the 8-vertex, 13-edge motivation graph")
+print(f"  row list : {list(g1.row)}")
+print(f"  degrees  : {list(g1.degrees)}")
+
+bl = bl_sssp(g1, 0, spec=SPEC)
+validate_distances(g1, 0, bl.dist)
+print(f"\nshortest distances from vertex 0: {list(bl.dist)}")
+
+print("\nFig. 1(b) — work analysis of synchronous push execution:")
+for label, r in (("BL (sync push)", bl), ("RDBS (Δ=3)", rdbs_sssp(g1, 0, delta=3.0, spec=SPEC))):
+    t = r.work
+    print(
+        f"  {label:<15} {t.total_updates} updates "
+        f"({t.valid_updates} valid, {t.invalid_updates} invalid), "
+        f"{t.checks} checks"
+    )
+print(
+    "  -> the figure's point: push mode wastes work on updates that are"
+    "\n     later overwritten; bucketed execution removes most of them."
+)
+
+# ---------------------------------------------------------------------------
+# Fig. 4: property-driven reordering, step by step
+# ---------------------------------------------------------------------------
+g4 = paper_fig4_graph()
+print("\nFig. 4(a) — original graph (5 vertices):")
+print(f"  degrees: {list(g4.degrees)}   (paper: 2, 4, 2, 3, 3)")
+
+pro = apply_pro(g4, delta=3.0)
+print("\nFig. 4(c) — after property-driven reordering (Δ = 3):")
+print(f"  reorder vertex id  : {list(pro.new_to_old)}   (paper: 1, 3, 4, 0, 2)")
+print(f"  row list           : {list(pro.row)}")
+print(f"  heavy-edge offsets : {list(pro.heavy_offsets)}   (paper's green numbers)")
+print(f"  reorder adjacency  : {list(pro.adj)}")
+print(f"  reorder value list : {[int(w) for w in pro.weights]}")
+
+expect = dict(
+    perm=[1, 3, 4, 0, 2],
+    row=[0, 4, 7, 10, 12, 14],
+    heavy=[2, 5, 9, 11, 14],
+    adj=[4, 3, 2, 1, 2, 0, 3, 4, 1, 0, 0, 1, 0, 2],
+    val=[1, 2, 4, 5, 2, 5, 9, 1, 2, 4, 2, 9, 1, 1],
+)
+assert list(pro.new_to_old) == expect["perm"]
+assert list(pro.row) == expect["row"]
+assert list(pro.heavy_offsets) == expect["heavy"]
+assert list(pro.adj) == expect["adj"]
+assert [int(w) for w in pro.weights] == expect["val"]
+print("\nall arrays match Fig. 4(c) exactly ✓")
+
+# per-vertex light/heavy view
+print("\nlight/heavy split per reordered vertex (Δ = 3):")
+for v in range(pro.num_vertices):
+    lo, mid = pro.light_range(v)
+    _, hi = pro.heavy_range(v)
+    light = [int(w) for w in pro.weights[lo:mid]]
+    heavy = [int(w) for w in pro.weights[mid:hi]]
+    print(f"  vertex {v} (orig {int(pro.new_to_old[v])}): "
+          f"light {light}, heavy {heavy}")
+
+# and the reordered graph still answers the same queries
+d_orig = repro.solve(g4, 1, method="dijkstra").dist
+d_pro = rdbs_sssp(g4, 1, delta=3.0, spec=SPEC).dist
+assert np.allclose(d_orig, d_pro)
+print("\ndistances unchanged by reordering ✓")

@@ -1,0 +1,63 @@
+"""Route planning with a landmark distance oracle (ALT) + path extraction.
+
+The paper's introduction motivates SSSP with road layout management and
+network routing — workloads that ask *many* point-to-point queries over
+one graph.  This example shows the downstream pattern: preprocess a few
+SSSP runs from landmarks (using the paper's RDBS as the engine), answer
+distance queries in microseconds from the oracle's bounds, and fall back
+to one exact SSSP + path extraction only when the bounds aren't tight
+enough.
+
+Run with:  python examples/route_planning_oracle.py
+"""
+
+import numpy as np
+
+import repro
+from repro.graphs import grid_road_network, largest_component_vertices
+from repro.sssp import (
+    build_landmark_oracle,
+    scipy_distances,
+    shortest_path_tree,
+    validate_path,
+)
+
+SPEC = repro.V100.scaled_for_workload(1 / 64)
+
+city = grid_road_network(
+    80, 80, diagonal_prob=0.04, drop_prob=0.04, seed=17, name="metro"
+)
+print(f"road network: {city}")
+
+# --- preprocessing: 8 landmark SSSP runs with RDBS -------------------------
+oracle = build_landmark_oracle(city, k=8, method="rdbs", seed=5, spec=SPEC)
+print(f"landmarks: {[int(x) for x in oracle.landmarks]}")
+
+# --- fast bounded queries ----------------------------------------------------
+rng = np.random.default_rng(11)
+comp = largest_component_vertices(city)
+queries = rng.choice(comp, size=(6, 2), replace=False)
+
+print(f"\n{'from':>6} {'to':>6} {'lower':>8} {'upper':>8} {'exact':>8} {'tightness':>10}")
+for u, v in queries:
+    lo, hi = oracle.bounds(int(u), int(v))
+    exact = scipy_distances(city, int(u))[int(v)]
+    tight = lo / exact if exact > 0 else 1.0
+    print(f"{u:>6} {v:>6} {lo:>8.0f} {hi:>8.0f} {exact:>8.0f} {tight:>10.1%}")
+
+# --- exact route when the bounds are too loose ------------------------------
+u, v = int(queries[0][0]), int(queries[0][1])
+tree = shortest_path_tree(city, u, method="rdbs", spec=SPEC)
+route = tree.path_to(v)
+validate_path(city, route, tree.distance_to(v))
+print(
+    f"\nexact route {u} -> {v}: {len(route)} intersections, "
+    f"travel time {tree.distance_to(v):.0f}"
+)
+print(f"first hops: {route[:8]}{' ...' if len(route) > 8 else ''}")
+
+depths = tree.depth_histogram()
+print(
+    f"\nshortest-path tree from {u}: depth up to {len(depths) - 1} hops, "
+    f"median depth {int(np.argmax(np.cumsum(depths) >= depths.sum() / 2))}"
+)

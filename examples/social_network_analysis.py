@@ -1,0 +1,72 @@
+"""Social-network analysis: where the paper's optimizations shine.
+
+Power-law graphs (soc-Pokec, com-LiveJournal, ... in the paper) are what
+motivates all three optimizations: a few hub vertices own most edges
+(load imbalance), hubs are touched constantly (locality), and frontiers
+explode (synchronization overhead).  This example runs a closeness-style
+analysis on a preferential-attachment network and dissects *why* each
+optimization helps, using the simulator's counters.
+
+Run with:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+import repro
+from repro.graphs import preferential_attachment, largest_component_vertices
+from repro.sssp import rdbs_sssp, validate_distances
+
+# scaled-simulation mode to match the surrogate workload size (DESIGN.md §5)
+SPEC = repro.V100.scaled_for_workload(1 / 64)
+
+network = preferential_attachment(4000, 6, seed=42, name="social")
+deg = network.degrees
+print(f"social network: {network}")
+print(
+    f"degree distribution: median {int(np.median(deg))}, "
+    f"max {deg.max()} (a hub owns {deg.max() / network.num_edges:.1%} of all edges)"
+)
+
+# --- hub-to-everyone distances ----------------------------------------------
+hub = int(np.argmax(deg))
+r = repro.solve(network, hub, method="rdbs", spec=SPEC)
+validate_distances(network, hub, r.dist)
+finite = np.isfinite(r.dist)
+print(f"\nfrom hub {hub}: mean distance {r.dist[finite].mean():.1f}, "
+      f"eccentricity {r.dist[finite].max():.0f}")
+
+# closeness centrality of a few interesting vertices (exact, via SSSP from
+# each vertex — the workload the paper's intro motivates for social graphs)
+candidates = [hub, int(np.argsort(deg)[len(deg) // 2]), int(np.argmin(deg))]
+print(f"\n{'vertex':>8} {'degree':>7} {'closeness':>10}")
+for v in candidates:
+    rv = repro.solve(network, v, method="rdbs", spec=SPEC)
+    d = rv.dist[np.isfinite(rv.dist)]
+    closeness = (len(d) - 1) / d.sum() if d.sum() else 0.0
+    print(f"{v:>8} {deg[v]:>7} {closeness:>10.5f}")
+
+# --- dissecting the optimizations -------------------------------------------
+print(f"\n{'configuration':<18} {'time (ms)':>10} {'ratio':>7} "
+      f"{'SIMT eff':>9} {'hit %':>6} {'children':>9}")
+for label, kw in [
+    ("sync Δ-stepping", dict(pro=False, adwl=False, basyn=False)),
+    ("+BASYN", dict(pro=False, adwl=False, basyn=True)),
+    ("+BASYN +PRO", dict(pro=True, adwl=False, basyn=True)),
+    ("+BASYN +ADWL", dict(pro=False, adwl=True, basyn=True)),
+    ("full RDBS", dict(pro=True, adwl=True, basyn=True)),
+]:
+    rr = rdbs_sssp(network, hub, spec=SPEC, **kw)
+    validate_distances(network, hub, rr.dist)
+    c = rr.counters.totals
+    print(
+        f"{label:<18} {rr.time_ms:>10.4f} {rr.work.update_ratio:>7.2f} "
+        f"{c.simt_efficiency:>9.2f} {c.global_hit_rate:>6.1f} "
+        f"{c.child_kernel_launches:>9}"
+    )
+
+print(
+    "\nReading the columns: BASYN removes barriers and cuts redundant"
+    "\nupdates (ratio); PRO raises the cache hit rate and removes the"
+    "\nlight/heavy branch; ADWL lifts SIMT efficiency by giving hub"
+    "\nvertices their own warp- or block-granularity child kernels."
+)

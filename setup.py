@@ -1,0 +1,8 @@
+"""Legacy setup shim: the offline environment has no `wheel` package, so
+PEP-517 editable installs fail; `pip install -e . --no-use-pep517` (or
+`python setup.py develop`) uses this instead.  All metadata lives in
+pyproject.toml."""
+
+from setuptools import setup
+
+setup()

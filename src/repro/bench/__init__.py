@@ -1,0 +1,41 @@
+"""Benchmark harness: datasets, scaled specs, run matrices, tables."""
+
+from .datasets import (
+    FIG8_DATASETS,
+    FIG9_DATASETS,
+    FIG10_DATASETS,
+    FIG12_DATASETS,
+    TABLE2_DATASETS,
+    WORKLOAD_SCALE,
+    benchmark_spec,
+    get_graph,
+    pick_sources,
+)
+from .harness import (
+    MethodRun,
+    RESULTS_DIR,
+    format_table,
+    geo_speedup,
+    run_matrix,
+    run_method,
+    write_results,
+)
+
+__all__ = [
+    "WORKLOAD_SCALE",
+    "benchmark_spec",
+    "get_graph",
+    "pick_sources",
+    "FIG8_DATASETS",
+    "TABLE2_DATASETS",
+    "FIG9_DATASETS",
+    "FIG10_DATASETS",
+    "FIG12_DATASETS",
+    "MethodRun",
+    "run_method",
+    "run_matrix",
+    "format_table",
+    "write_results",
+    "geo_speedup",
+    "RESULTS_DIR",
+]

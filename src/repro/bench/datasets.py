@@ -1,0 +1,89 @@
+"""Benchmark dataset registry, scaled specs and source selection.
+
+Centralizes the three methodological choices every benchmark shares:
+
+* **which graphs** — the Table-1 surrogates (:mod:`repro.graphs.surrogates`)
+  grouped exactly as the paper's figures group them;
+* **which device** — the V100/T4 specs in *scaled-simulation mode*
+  (:meth:`repro.gpusim.spec.GPUSpec.scaled_for_workload`), matching the
+  ~1/64-scale surrogates so cache pressure and launch-to-body ratios stay in
+  the regime of the paper's full-size runs;
+* **which sources** — the paper draws 64 random sources from each graph and
+  averages; the benchmarks default to a smaller deterministic sample from
+  the largest connected component (so every run traverses most of the
+  graph), configurable via ``num_sources``.
+
+Graphs are memoized so a full benchmark session generates each surrogate
+once.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from ..graphs import surrogates
+from ..graphs.csr import CSRGraph
+from ..graphs.properties import largest_component_vertices
+from ..gpusim.spec import GPUSpec, T4, V100
+
+__all__ = [
+    "WORKLOAD_SCALE",
+    "benchmark_spec",
+    "get_graph",
+    "pick_sources",
+    "FIG8_DATASETS",
+    "TABLE2_DATASETS",
+    "FIG9_DATASETS",
+    "FIG10_DATASETS",
+    "FIG12_DATASETS",
+]
+
+#: the surrogate datasets are ~1/64 the paper's edge counts (see
+#: repro.graphs.surrogates); capacity/latency constants scale to match
+WORKLOAD_SCALE = 1.0 / 64.0
+
+#: the six datasets of Fig. 8 / Table 2 / Fig. 10 / Fig. 12
+FIG8_DATASETS = ["road-TX", "Amazon", "web-GL", "com-LJ", "soc-PK", "k-n21-16"]
+TABLE2_DATASETS = FIG8_DATASETS
+FIG10_DATASETS = FIG8_DATASETS
+FIG12_DATASETS = ["Amazon", "road-TX", "web-GL", "com-LJ", "soc-PK", "k-n21-16"]
+
+#: the ten datasets of Fig. 9, in the paper's plotted order
+FIG9_DATASETS = [
+    "k-n21-16",
+    "web-GL",
+    "soc-PK",
+    "com-LJ",
+    "soc-TW",
+    "as-Skt",
+    "soc-LJ",
+    "wiki-TK",
+    "com-OK",
+    "road-TX",
+]
+
+
+def benchmark_spec(base: GPUSpec = V100) -> GPUSpec:
+    """The scaled-simulation device spec used by all benchmarks."""
+    return base.scaled_for_workload(WORKLOAD_SCALE)
+
+
+@lru_cache(maxsize=None)
+def get_graph(name: str) -> CSRGraph:
+    """Memoized surrogate construction."""
+    return surrogates.load(name)
+
+
+@lru_cache(maxsize=None)
+def _component_cache(name: str) -> np.ndarray:
+    return largest_component_vertices(get_graph(name))
+
+
+def pick_sources(name: str, num_sources: int = 3, seed: int = 7) -> list[int]:
+    """Deterministic random sources inside the largest component."""
+    comp = _component_cache(name)
+    rng = np.random.default_rng(seed)
+    take = min(num_sources, comp.size)
+    return [int(v) for v in rng.choice(comp, size=take, replace=False)]

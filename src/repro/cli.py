@@ -1,0 +1,276 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``solve``     run one SSSP method on a graph and print the measurements
+``compare``   run several methods on one graph, print a comparison table
+``profile``   run one method and print the kernel timeline / bottlenecks
+``datasets``  list the bundled Table-1 surrogate datasets
+
+Graphs are specified with a compact ``kind:args`` syntax::
+
+    kron:12,16        Kronecker SCALE=12, edgefactor=16 (int weights)
+    road:64,64        64x64 road grid
+    pa:4000,6         preferential attachment, n=4000, 6 edges/vertex
+    er:1000,8000      Erdős–Rényi, n=1000, m=8000
+    road-TX           any bundled dataset name (see `datasets`)
+    path/to/file.gr   DIMACS / edge-list / .npz files
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from .graphs import (
+    CSRGraph,
+    dataset_names,
+    erdos_renyi,
+    grid_road_network,
+    kronecker,
+    largest_component_vertices,
+    load,
+    load_npz,
+    preferential_attachment,
+    read_dimacs_gr,
+    read_edge_list,
+)
+from .graphs.properties import graph_stats
+from .gpusim import A100, T4, V100
+from .sssp import method_names, sssp, validate_distances
+
+__all__ = ["main", "parse_graph_spec", "parse_gpu_spec"]
+
+_SPECS = {"v100": V100, "t4": T4, "a100": A100}
+
+
+def parse_graph_spec(spec: str, seed: int = 0) -> CSRGraph:
+    """Build a graph from the CLI's ``kind:args`` syntax (see module doc)."""
+    if ":" in spec and not Path(spec).exists():
+        kind, _, args = spec.partition(":")
+        parts = [int(x) for x in args.split(",") if x]
+        if kind == "kron":
+            scale, ef = (parts + [16])[:2]
+            return kronecker(scale, ef, weights="int", seed=seed)
+        if kind == "road":
+            w, h = (parts + [parts[0]])[:2]
+            return grid_road_network(w, h, seed=seed)
+        if kind == "pa":
+            n, k = (parts + [4])[:2]
+            return preferential_attachment(n, k, seed=seed)
+        if kind == "er":
+            n, m = (parts + [parts[0] * 8])[:2]
+            return erdos_renyi(n, m, seed=seed)
+        raise SystemExit(f"unknown graph kind {kind!r}")
+    if spec in dataset_names():
+        return load(spec)
+    path = Path(spec)
+    if not path.exists():
+        raise SystemExit(f"no such dataset or file: {spec!r}")
+    if path.suffix == ".npz":
+        return load_npz(path)
+    if path.suffix == ".gr":
+        return read_dimacs_gr(path)
+    return read_edge_list(path)
+
+
+def parse_gpu_spec(name: str, workload_scale: float):
+    """Resolve a platform name + scaled-simulation factor."""
+    try:
+        base = _SPECS[name.lower()]
+    except KeyError:
+        raise SystemExit(
+            f"unknown GPU {name!r}; choose from {', '.join(_SPECS)}"
+        ) from None
+    return base.scaled_for_workload(workload_scale)
+
+
+def _pick_source(graph: CSRGraph, arg: str) -> int:
+    if arg == "auto":
+        comp = largest_component_vertices(graph)
+        if comp.size == 0:
+            raise SystemExit("graph has no vertices")
+        return int(comp[0])
+    return int(arg)
+
+
+def _gpu_kwargs(args, method: str) -> dict:
+    gpu_methods = {
+        "bl", "near-far", "adds", "rdbs", "basyn", "basyn+pro",
+        "basyn+adwl", "basyn+pro+adwl", "sync-delta",
+    }
+    kw: dict = {}
+    if method in gpu_methods:
+        kw["spec"] = parse_gpu_spec(args.gpu, args.workload_scale)
+    if args.delta is not None and method not in (
+        "dijkstra", "bellman-ford"
+    ):
+        kw["delta"] = args.delta
+    return kw
+
+
+def _cmd_solve(args) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    source = _pick_source(graph, args.source)
+    r = sssp(graph, source, method=args.method, **_gpu_kwargs(args, args.method))
+    if not args.no_validate:
+        validate_distances(graph, source, r.dist)
+    reached = int(np.isfinite(r.dist).sum())
+    print(f"graph     : {graph}")
+    print(f"method    : {r.method}")
+    print(f"source    : {source}  (reached {reached}/{graph.num_vertices})")
+    print(f"time      : {r.time_ms:.4f} ms (simulated)")
+    print(f"throughput: {r.gteps:.3f} GTEPS")
+    if r.work:
+        print(f"updates   : {r.work.total_updates} total, "
+              f"{r.work.valid_updates} valid (ratio {r.work.update_ratio:.2f})")
+    if not args.no_validate:
+        print("validated against scipy ✓")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    source = _pick_source(graph, args.source)
+    methods = args.methods.split(",")
+    unknown = [m for m in methods if m not in method_names()]
+    if unknown:
+        raise SystemExit(f"unknown methods: {unknown}; see `--list-methods`")
+    print(f"graph: {graph}, source {source}\n")
+    print(f"{'method':<16} {'time (ms)':>10} {'GTEPS':>8} {'ratio':>7}")
+    for m in methods:
+        r = sssp(graph, source, method=m, **_gpu_kwargs(args, m))
+        if not args.no_validate:
+            validate_distances(graph, source, r.dist)
+        ratio = r.work.update_ratio if r.work else float("nan")
+        print(f"{m:<16} {r.time_ms:>10.4f} {r.gteps:>8.3f} {ratio:>7.2f}")
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    source = _pick_source(graph, args.source)
+    r = sssp(graph, source, method=args.method, **_gpu_kwargs(args, args.method))
+    timeline = r.extra.get("timeline")
+    if timeline is None:
+        raise SystemExit(f"method {args.method!r} has no kernel timeline "
+                         "(CPU methods are not profiled)")
+    print(f"graph: {graph}, method {r.method}, "
+          f"simulated {r.time_ms:.4f} ms\n")
+    print(timeline.report())
+    c = r.counters.totals
+    print(
+        f"\ncounters: loads={c.inst_executed_global_loads} "
+        f"stores={c.inst_executed_global_stores} "
+        f"atomics={c.inst_executed_atomics} "
+        f"hit={c.global_hit_rate:.1f}% "
+        f"simt_eff={c.simt_efficiency:.2f}"
+    )
+    return 0
+
+
+def _cmd_selfcheck(_args) -> int:
+    """Quick end-to-end health check: every method on one small graph."""
+    g = kronecker(8, 8, weights="int", seed=0)
+    comp = largest_component_vertices(g)
+    source = int(comp[0])
+    spec = V100.scaled_for_workload(1 / 64)
+    gpu_methods = {
+        "bl", "near-far", "adds", "rdbs", "basyn", "basyn+pro",
+        "basyn+adwl", "basyn+pro+adwl", "sync-delta", "harish-narayanan",
+    }
+    failures = 0
+    for m in method_names():
+        kw = {"spec": spec} if m in gpu_methods else {}
+        try:
+            r = sssp(g, source, method=m, **kw)
+            validate_distances(g, source, r.dist)
+            print(f"  {m:<18} ok   ({r.time_ms:.4f} ms simulated)")
+        except Exception as exc:  # pragma: no cover - only on breakage
+            failures += 1
+            print(f"  {m:<18} FAIL ({exc})")
+    if failures:
+        print(f"\n{failures} method(s) failed")
+        return 1
+    print(f"\nall {len(method_names())} methods validated against scipy ✓")
+    return 0
+
+
+def _cmd_datasets(_args) -> int:
+    print(f"{'name':<10} {'n':>8} {'m':>9} {'avg_deg':>8} {'class'}")
+    from .graphs.surrogates import DATASETS
+
+    for name, spec in DATASETS.items():
+        g = load(name)
+        print(
+            f"{name:<10} {g.num_vertices:>8} {g.num_edges:>9} "
+            f"{g.average_degree:>8.2f} stands in for {spec.stands_for}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Bucket-aware asynchronous SSSP (RDBS) reproduction",
+    )
+    p.add_argument(
+        "--list-methods", action="store_true", help="list SSSP methods and exit"
+    )
+    sub = p.add_subparsers(dest="command")
+
+    def common(sp):
+        sp.add_argument("graph", help="graph spec (kind:args, dataset, or file)")
+        sp.add_argument("--source", default="auto",
+                        help="source vertex id or 'auto' (default)")
+        sp.add_argument("--seed", type=int, default=0)
+        sp.add_argument("--gpu", default="v100", help="v100 | t4 | a100")
+        sp.add_argument("--workload-scale", type=float, default=1 / 64,
+                        help="scaled-simulation factor (default 1/64)")
+        sp.add_argument("--delta", type=float, default=None)
+        sp.add_argument("--no-validate", action="store_true")
+
+    sp = sub.add_parser("solve", help="run one method")
+    common(sp)
+    sp.add_argument("--method", default="rdbs", choices=method_names())
+    sp.set_defaults(fn=_cmd_solve)
+
+    sp = sub.add_parser("compare", help="run several methods")
+    common(sp)
+    sp.add_argument("--methods", default="bl,adds,rdbs")
+    sp.set_defaults(fn=_cmd_compare)
+
+    sp = sub.add_parser("profile", help="kernel timeline of one method")
+    common(sp)
+    sp.add_argument("--method", default="rdbs", choices=method_names())
+    sp.set_defaults(fn=_cmd_profile)
+
+    sp = sub.add_parser("datasets", help="list bundled dataset surrogates")
+    sp.set_defaults(fn=_cmd_datasets)
+
+    sp = sub.add_parser(
+        "selfcheck", help="validate every method on a small graph"
+    )
+    sp.set_defaults(fn=_cmd_selfcheck)
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_methods:
+        print("\n".join(method_names()))
+        return 0
+    if not getattr(args, "fn", None):
+        parser.print_help()
+        return 2
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,95 @@
+"""Unified L1/tex cache model (reuse-distance / footprint approximation).
+
+Simulating an exact per-access LRU in Python would serialize millions of
+events, so the simulator uses the classic *footprint* approximation, which
+is deterministic, vectorized and accurate enough to rank locality effects:
+
+1. the per-launch transaction stream is reduced to 32 B *sector* ids in
+   issue order (Volta-class L1/tex caches are sectored: a miss fills only
+   the touched sector, so reuse is tracked per sector, not per line);
+2. each access's *reuse gap* ``T`` (number of transactions since the previous
+   access to the same sector) is computed with one stable sort;
+3. the expected number of *distinct* sectors inside a gap of length ``T``
+   over a working set of ``U`` sectors is ``d(T) = U * (1 - (1 - 1/U)**T)``
+   (the standard uniform-footprint estimate);
+4. the access hits iff ``d(T) <= capacity_sectors``; first-touch accesses
+   are cold misses.
+
+Because the L1s of all SMs consume interleaved thinnings of the same stream,
+per-SM capacity with a 1/num_sms-thinned stream is equivalent to aggregate
+capacity on the full stream, so ``capacity_sectors`` is the device-wide L1
+sector count.  The model makes PRO's effect *measurable*: degree reordering
+concentrates the hot distance entries into few sectors and shortens reuse
+gaps, which raises the modeled hit rate exactly as nvprof shows in the
+paper's Fig. 10(d).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .spec import GPUSpec
+
+__all__ = ["CacheModel", "reuse_gaps"]
+
+
+def reuse_gaps(lines: np.ndarray) -> np.ndarray:
+    """Gap (in transactions) since the previous access to the same line.
+
+    Returns -1 for first-touch accesses.  One stable argsort, no Python
+    loops.
+    """
+    n = lines.size
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    order = np.argsort(lines, kind="stable")
+    sorted_lines = lines[order]
+    sorted_pos = order.astype(np.int64)
+    gaps_sorted = np.full(n, -1, dtype=np.int64)
+    same_as_prev = np.zeros(n, dtype=bool)
+    same_as_prev[1:] = sorted_lines[1:] == sorted_lines[:-1]
+    gaps_sorted[same_as_prev] = (
+        sorted_pos[same_as_prev] - sorted_pos[np.flatnonzero(same_as_prev) - 1]
+    )
+    gaps = np.empty(n, dtype=np.int64)
+    gaps[order] = gaps_sorted
+    return gaps
+
+
+class CacheModel:
+    """Footprint-approximation L1/tex cache for one simulated device.
+
+    State is reset per kernel launch (CUDA L1s are not persistent across
+    kernel boundaries), which matches nvprof's per-kernel hit-rate
+    accounting.
+    """
+
+    def __init__(self, spec: GPUSpec) -> None:
+        self.spec = spec
+        self.capacity_sectors = max(1, spec.total_l1_bytes // spec.sector_bytes)
+
+    def hits(self, lines: np.ndarray) -> np.ndarray:
+        """Boolean hit mask for a transaction stream of sector ids."""
+        n = lines.size
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        gaps = reuse_gaps(lines)
+        touched = np.unique(lines).size
+        mask = gaps >= 0
+        out = np.zeros(n, dtype=bool)
+        if not mask.any():
+            return out
+        # expected distinct lines within each gap, uniform-footprint model
+        u = float(touched)
+        t = gaps[mask].astype(np.float64)
+        if u <= 1.0:
+            distinct = np.ones_like(t)
+        else:
+            # u * (1 - (1 - 1/u)**t), computed in log space for stability
+            distinct = u * -np.expm1(t * np.log1p(-1.0 / u))
+        out[mask] = distinct <= self.capacity_sectors
+        return out
+
+    def hit_count(self, lines: np.ndarray) -> int:
+        """Number of hits in the given transaction stream."""
+        return int(self.hits(lines).sum())

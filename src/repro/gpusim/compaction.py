@@ -1,0 +1,55 @@
+"""Stream compaction: the scan-and-scatter idiom of GPU worklists.
+
+Frontier construction on real GPUs is a three-step dance: evaluate a
+predicate per item, block-wide exclusive prefix-sum to find each
+survivor's output slot, and a coalesced scatter of the survivors.  This
+module packages that idiom with full accounting (two ALU passes for the
+scan, the divergent predicate branch, and the contiguous survivor stores)
+so every algorithm that builds a queue charges the same realistic cost.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .device import KernelContext, subset_assignment
+from .kernels import WorkAssignment
+from .memory import DeviceArray
+
+__all__ = ["compact"]
+
+
+def compact(
+    ctx: KernelContext,
+    out: DeviceArray,
+    keep: np.ndarray,
+    values: np.ndarray,
+    assignment: WorkAssignment,
+    *,
+    offset: int = 0,
+) -> np.ndarray:
+    """Write ``values[keep]`` densely into ``out`` starting at ``offset``.
+
+    Returns the survivors (host view).  Charges: 2 ALU passes per slot
+    (the block/device exclusive scan), one predicate branch, and the
+    coalesced stores of the survivors.  ``out`` must be large enough for
+    ``offset + survivors`` entries.
+    """
+    keep = np.asarray(keep, dtype=bool)
+    if keep.size != assignment.num_items:
+        raise ValueError("predicate must match the assignment's items")
+    ctx.alu(assignment, ops=2)  # exclusive prefix-sum of the predicate
+    if keep.size:
+        ctx.branch(assignment, keep)
+    survivors = np.asarray(values)[keep]
+    if survivors.size:
+        if offset + survivors.size > out.size:
+            raise ValueError("output buffer too small for compaction")
+        sub = subset_assignment(assignment, keep)
+        ctx.scatter(
+            out,
+            offset + np.arange(survivors.size, dtype=np.int64),
+            survivors,
+            sub,
+        )
+    return survivors

@@ -1,0 +1,136 @@
+"""Profiling counters: the simulator's equivalent of ``nvprof`` metrics.
+
+The paper's Fig. 10 reports four nvprof metrics; this module accumulates the
+same quantities (plus the supporting raw events) per kernel and per device:
+
+* ``inst_executed_global_loads``  — warp-level global load instructions;
+* ``inst_executed_global_stores`` — warp-level global store instructions;
+* ``inst_executed_atomics``       — warp-level atom/atom-CAS instructions;
+* ``global_hit_rate``             — hits / accesses in the unified L1/tex.
+
+A *warp-level instruction* is one instruction issued by one warp, regardless
+of how many of its 32 lanes are active — exactly nvprof's definition, and
+the reason divergence and poor load balance inflate these counts on real
+hardware just as they do here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+__all__ = ["KernelCounters", "DeviceCounters"]
+
+
+@dataclass
+class KernelCounters:
+    """Event counts for one kernel launch (or one phase of a fused kernel)."""
+
+    # --- warp-level instruction counts (nvprof names) -------------------
+    inst_executed_global_loads: int = 0
+    inst_executed_global_stores: int = 0
+    inst_executed_atomics: int = 0
+    #: warp-level non-memory (ALU/control) instructions, including the extra
+    #: issues caused by branch-divergence serialization
+    inst_executed_other: int = 0
+
+    # --- memory system ---------------------------------------------------
+    #: 32-byte global memory transactions issued for loads
+    global_load_transactions: int = 0
+    #: 32-byte global memory transactions issued for stores
+    global_store_transactions: int = 0
+    #: transactions issued for atomics (each atomic RMW is one transaction
+    #: per distinct sector touched)
+    atomic_transactions: int = 0
+    #: L1/tex lookups and hits (loads only, matching nvprof global_hit_rate)
+    l1_accesses: int = 0
+    l1_hits: int = 0
+
+    # --- SIMT efficiency ---------------------------------------------------
+    #: warp instructions whose active mask was divergent (<32 active lanes)
+    divergent_branches: int = 0
+    branch_instructions: int = 0
+    #: sum of active lanes over all issued warp instructions
+    active_lanes: int = 0
+    #: 32 × (number of issued warp instructions) — the lane-slot capacity
+    lane_slots: int = 0
+
+    # --- launch & synchronization events --------------------------------
+    kernel_launches: int = 0
+    child_kernel_launches: int = 0
+    barriers: int = 0
+    async_rounds: int = 0
+    threads_launched: int = 0
+
+    # --- atomic contention -----------------------------------------------
+    #: atomics that conflicted (same address within one warp-step group) and
+    #: therefore serialized
+    atomic_conflicts: int = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def global_hit_rate(self) -> float:
+        """L1/tex hit rate for global loads, in percent (nvprof convention)."""
+        if self.l1_accesses == 0:
+            return 0.0
+        return 100.0 * self.l1_hits / self.l1_accesses
+
+    @property
+    def total_warp_instructions(self) -> int:
+        """All warp-level instructions issued."""
+        return (
+            self.inst_executed_global_loads
+            + self.inst_executed_global_stores
+            + self.inst_executed_atomics
+            + self.inst_executed_other
+        )
+
+    @property
+    def total_transactions(self) -> int:
+        """All 32-byte memory transactions."""
+        return (
+            self.global_load_transactions
+            + self.global_store_transactions
+            + self.atomic_transactions
+        )
+
+    @property
+    def simt_efficiency(self) -> float:
+        """Average fraction of active lanes per issued instruction (0..1)."""
+        if self.lane_slots == 0:
+            return 1.0
+        return self.active_lanes / self.lane_slots
+
+    def merge(self, other: "KernelCounters") -> None:
+        """Accumulate ``other`` into this counter set in place."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+    def copy(self) -> "KernelCounters":
+        """An independent copy of the current counts."""
+        out = KernelCounters()
+        out.merge(self)
+        return out
+
+    def as_dict(self) -> dict[str, float]:
+        """Plain-dict snapshot, including the derived metrics."""
+        d = {f.name: getattr(self, f.name) for f in fields(self)}
+        d["global_hit_rate"] = self.global_hit_rate
+        d["simt_efficiency"] = self.simt_efficiency
+        return d
+
+
+@dataclass
+class DeviceCounters:
+    """Whole-run accumulation plus per-kernel history."""
+
+    totals: KernelCounters = field(default_factory=KernelCounters)
+    per_kernel: list[tuple[str, KernelCounters]] = field(default_factory=list)
+
+    def record(self, name: str, counters: KernelCounters) -> None:
+        """Append one kernel's counters and fold them into the totals."""
+        self.per_kernel.append((name, counters))
+        self.totals.merge(counters)
+
+    def kernels_named(self, prefix: str) -> list[KernelCounters]:
+        """All recorded kernels whose name starts with ``prefix``."""
+        return [c for name, c in self.per_kernel if name.startswith(prefix)]

@@ -1,0 +1,198 @@
+"""Multi-GPU prototype (the paper's §7 future work).
+
+"In the future, we will further explore a high-performance graph processing
+framework for large-scale graphs on the multi-GPUs platform."  This module
+implements the straightforward first design the community uses as the
+starting point — a 1-D source-vertex partition with a replicated distance
+vector and bulk-synchronous frontier exchange over the interconnect:
+
+* vertices are split into contiguous blocks, one per GPU; every GPU holds
+  the out-edges of its block plus a full distance mirror;
+* each superstep, every GPU relaxes its local slice of the global frontier
+  (a real simulated kernel, fully accounted), then broadcasts its winning
+  updates to the other GPUs;
+* superstep time = slowest GPU's kernel time + interconnect transfer, so
+  load imbalance across partitions and exchange volume — the two classic
+  multi-GPU scaling limits — are both visible in the result.
+
+The ablation benchmark uses this to show where a multi-GPU extension of the
+paper's approach would gain and where the exchange cost eats the speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from .device import GPUDevice, subset_assignment
+from .kernels import thread_per_item, thread_per_vertex_edges
+from .spec import GPUSpec, V100
+
+__all__ = ["MultiGPUResult", "multi_gpu_sssp", "PCIE3_GBPS", "NVLINK2_GBPS"]
+
+#: interconnect bandwidth presets (GB/s, per direction, aggregate)
+PCIE3_GBPS = 16.0
+NVLINK2_GBPS = 150.0
+#: per-superstep exchange latency (all-to-all software + DMA setup)
+_EXCHANGE_LATENCY_S = 10e-6
+#: bytes per exchanged update message: (vertex id, distance)
+_MESSAGE_BYTES = 12
+
+
+@dataclass
+class MultiGPUResult:
+    """Distances plus the multi-GPU execution profile."""
+
+    dist: np.ndarray
+    source: int
+    num_gpus: int
+    time_ms: float
+    supersteps: int
+    exchanged_messages: int
+    exchange_time_ms: float
+    compute_time_ms: float
+
+    @property
+    def exchange_fraction(self) -> float:
+        """Share of total time spent in the interconnect (0..1)."""
+        if self.time_ms == 0:
+            return 0.0
+        return self.exchange_time_ms / self.time_ms
+
+
+def multi_gpu_sssp(
+    graph: CSRGraph,
+    source: int,
+    num_gpus: int = 2,
+    *,
+    spec: GPUSpec = V100,
+    interconnect_gbps: float = NVLINK2_GBPS,
+    max_supersteps: int = 1_000_000,
+    partition: str | np.ndarray = "block",
+) -> MultiGPUResult:
+    """Bulk-synchronous multi-GPU Bellman-Ford over a 1-D partition.
+
+    ``partition`` selects the vertex-ownership strategy: ``"block"``,
+    ``"edge-balanced"``, ``"random"``, ``"degree-balanced"`` (see
+    :mod:`repro.graphs.partition`) or an explicit owner array.
+    """
+    from ..graphs.partition import (
+        block_partition,
+        degree_balanced_partition,
+        edge_balanced_partition,
+        random_partition,
+    )
+
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    if num_gpus < 1:
+        raise ValueError("num_gpus must be >= 1")
+
+    devices = [GPUDevice(spec) for _ in range(num_gpus)]
+    if isinstance(partition, str):
+        if partition == "block":
+            owner = block_partition(n, num_gpus)
+        elif partition == "edge-balanced":
+            owner = edge_balanced_partition(graph, num_gpus)
+        elif partition == "random":
+            owner = random_partition(n, num_gpus)
+        elif partition == "degree-balanced":
+            owner = degree_balanced_partition(graph, num_gpus)
+        else:
+            raise ValueError(f"unknown partition strategy {partition!r}")
+    else:
+        owner = np.asarray(partition, dtype=np.int64)
+        if owner.shape != (n,):
+            raise ValueError("owner array must have one entry per vertex")
+        if owner.size and (owner.min() < 0 or owner.max() >= num_gpus):
+            raise ValueError("owner ids out of range")
+
+    # replicated distance vector: one authoritative host copy, per-device
+    # DeviceArray views for accounting (each device reads/writes its mirror)
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    dev_dist = [d.alloc(dist, "dist") for d in devices]
+    dgraphs = []
+    from ..sssp.relax import DeviceGraph  # local import: avoid cycle
+
+    for d in devices:
+        dgraphs.append(DeviceGraph(d, graph))
+
+    frontier = np.array([source], dtype=np.int64)
+    total_time = 0.0
+    exchange_time = 0.0
+    compute_time = 0.0
+    supersteps = 0
+    exchanged = 0
+
+    while frontier.size:
+        supersteps += 1
+        if supersteps > max_supersteps:
+            raise RuntimeError("superstep limit exceeded")
+        step_times = []
+        all_updates: list[np.ndarray] = []
+        frontier_owner = owner[frontier]
+        for g in range(num_gpus):
+            local = frontier[frontier_owner == g]
+            if local.size == 0:
+                step_times.append(0.0)
+                continue
+            dev = devices[g]
+            t0 = dev.time_s
+            with dev.launch(f"mg_relax_g{g}") as k:
+                batch = dgraphs[g].batch(local, "all")
+                a = thread_per_vertex_edges(batch.counts)
+                a_v = thread_per_item(local.size)
+                du = k.gather(dev_dist[g], local, a_v)
+                v = k.gather(dgraphs[g].adj, batch.edge_idx, a)
+                w = k.gather(dgraphs[g].weights, batch.edge_idx, a)
+                nd = du[batch.src_pos] + w
+                k.alu(a, ops=3)
+                _old, upd = k.atomic_min(dev_dist[g], v, nd, a)
+                if upd.any():
+                    sub = subset_assignment(a, upd)
+                    k.alu(sub, ops=1)  # message-buffer append per update
+                    all_updates.append(np.stack([v[upd], nd[upd]]))
+            step_times.append(dev.time_s - t0)
+
+        # merge winners on the host-authoritative copy, then broadcast
+        improved: np.ndarray
+        if all_updates:
+            vs = np.concatenate([u[0] for u in all_updates]).astype(np.int64)
+            nds = np.concatenate([u[1] for u in all_updates])
+            before = dist[vs]
+            np.minimum.at(dist, vs, nds)
+            improved = np.unique(vs[dist[vs] < before])
+            messages = int(vs.size) * max(num_gpus - 1, 0)
+            exchanged += messages
+            xfer = (
+                _EXCHANGE_LATENCY_S
+                + messages * _MESSAGE_BYTES / (interconnect_gbps * 1e9)
+                if num_gpus > 1
+                else 0.0
+            )
+            # every device applies the merged updates to its mirror
+            for g in range(num_gpus):
+                dev_dist[g].data[:] = dist
+        else:
+            improved = np.zeros(0, dtype=np.int64)
+            xfer = 0.0
+
+        compute_time += max(step_times)
+        exchange_time += xfer
+        total_time += max(step_times) + xfer
+        frontier = improved
+
+    return MultiGPUResult(
+        dist=dist,
+        source=source,
+        num_gpus=num_gpus,
+        time_ms=total_time * 1e3,
+        supersteps=supersteps,
+        exchanged_messages=exchanged,
+        exchange_time_ms=exchange_time * 1e3,
+        compute_time_ms=compute_time * 1e3,
+    )

@@ -1,0 +1,114 @@
+"""Occupancy calculation and launch-configuration sizing.
+
+The paper's load-balancing design is occupancy-aware: α = 256 is "the
+number of Block granularity threads", β = 32 "the number of Warp
+granularity threads", and "we limit the largest dimension of the master and
+child kernels to prevent the wasting of threads" (§4.2).  This module
+implements the standard CUDA occupancy arithmetic — how many blocks of a
+given shape fit on an SM under the warp-slot, block-slot, register-file and
+shared-memory limits — plus the grid-clamping helper that implements the
+paper's dimension limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .spec import GPUSpec
+
+__all__ = ["OccupancyLimits", "occupancy", "OccupancyResult", "clamp_grid"]
+
+#: Volta/Turing-class per-SM resource limits (CUDA occupancy calculator)
+@dataclass(frozen=True)
+class OccupancyLimits:
+    """Per-SM resources bounding resident blocks."""
+
+    registers_per_sm: int = 65536
+    shared_mem_per_sm: int = 96 * 1024
+    max_blocks_per_sm: int = 32
+    max_threads_per_block: int = 1024
+
+
+DEFAULT_LIMITS = OccupancyLimits()
+
+
+@dataclass(frozen=True)
+class OccupancyResult:
+    """Outcome of the occupancy calculation for one kernel shape."""
+
+    blocks_per_sm: int
+    warps_per_sm: int
+    #: achieved / maximum resident warps (the figure nvprof reports)
+    occupancy: float
+    #: the resource that limits residency
+    limiter: str
+
+    @property
+    def is_full(self) -> bool:
+        """True at 100% theoretical occupancy."""
+        return self.occupancy >= 1.0 - 1e-12
+
+
+def occupancy(
+    spec: GPUSpec,
+    threads_per_block: int,
+    *,
+    registers_per_thread: int = 32,
+    shared_mem_per_block: int = 0,
+    limits: OccupancyLimits = DEFAULT_LIMITS,
+) -> OccupancyResult:
+    """CUDA occupancy arithmetic for a kernel shape on ``spec``.
+
+    Returns how many blocks are resident per SM and which resource binds.
+    """
+    if not 1 <= threads_per_block <= limits.max_threads_per_block:
+        raise ValueError(
+            f"threads_per_block must be in 1..{limits.max_threads_per_block}"
+        )
+    warp_size = spec.warp_size
+    warps_per_block = (threads_per_block + warp_size - 1) // warp_size
+
+    bounds = {
+        "warp-slots": spec.max_warps_per_sm // warps_per_block,
+        "block-slots": limits.max_blocks_per_sm,
+        "registers": limits.registers_per_sm
+        // max(registers_per_thread * warps_per_block * warp_size, 1),
+    }
+    if shared_mem_per_block > 0:
+        bounds["shared-memory"] = (
+            limits.shared_mem_per_sm // shared_mem_per_block
+        )
+    limiter, blocks = min(bounds.items(), key=lambda kv: kv[1])
+    blocks = max(int(blocks), 0)
+    warps = blocks * warps_per_block
+    return OccupancyResult(
+        blocks_per_sm=blocks,
+        warps_per_sm=warps,
+        occupancy=warps / spec.max_warps_per_sm,
+        limiter=limiter if blocks else "registers",
+    )
+
+
+def clamp_grid(
+    spec: GPUSpec,
+    work_items: int,
+    threads_per_block: int,
+    *,
+    max_waves: int = 8,
+    registers_per_thread: int = 32,
+) -> int:
+    """Grid size (blocks) for ``work_items``, bounded by device residency.
+
+    Implements the paper's "limit the largest dimension of the master and
+    child kernels": a grid never exceeds ``max_waves`` full waves of
+    resident blocks — extra items are covered by grid-stride looping, which
+    wastes no thread slots.
+    """
+    if work_items <= 0:
+        return 0
+    occ = occupancy(
+        spec, threads_per_block, registers_per_thread=registers_per_thread
+    )
+    needed = (work_items + threads_per_block - 1) // threads_per_block
+    ceiling = max(occ.blocks_per_sm * spec.num_sms * max_waves, 1)
+    return min(needed, ceiling)

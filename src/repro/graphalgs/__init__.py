@@ -1,0 +1,18 @@
+"""Framework kernels beyond SSSP (the paper's §7 direction).
+
+BFS, connected components and PageRank on the same simulated substrate,
+sharing the accounting semantics of the SSSP family so the framework's
+kernels are mutually comparable.
+"""
+
+from .bfs import bfs_gpu
+from .components import ComponentsResult, connected_components_gpu
+from .pagerank import PageRankResult, pagerank_gpu
+
+__all__ = [
+    "bfs_gpu",
+    "connected_components_gpu",
+    "ComponentsResult",
+    "pagerank_gpu",
+    "PageRankResult",
+]

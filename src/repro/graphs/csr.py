@@ -1,0 +1,261 @@
+"""Compressed Sparse Row (CSR) graph substrate.
+
+The CSR layout is the canonical in-memory representation used by the paper
+(Fig. 1(c)): a *row list* of size ``n + 1`` with the adjacency offsets of each
+vertex, an *adjacency list* with the destination vertex of every edge, and a
+*value list* with the weight of every edge.  All three are flat NumPy arrays
+so the rest of the library (reordering passes, the GPU execution-model
+simulator, the SSSP kernels) can operate on them with vectorized primitives.
+
+Two extensions over the textbook CSR are provided because the paper's
+property-driven reordering (PRO, §4.1) requires them:
+
+* an optional *heavy-edge offset* array ``heavy_offsets`` giving, for every
+  vertex, the index of its first heavy edge (weight >= delta) inside its
+  adjacency segment — valid only when each adjacency segment is sorted by
+  ascending weight; and
+* an optional permutation pair (``new_to_old`` / ``old_to_new``) recording a
+  vertex relabeling so distances can be reported in the original id space.
+
+The class is deliberately immutable after construction: SSSP algorithms never
+mutate topology, and immutability lets graphs be shared freely between
+benchmark runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["CSRGraph", "GraphValidationError"]
+
+#: dtype used for vertex ids and edge offsets.  int64 everywhere keeps the
+#: arithmetic safe for the largest graphs exercised by the benchmarks while
+#: staying a native NumPy integer type.
+VERTEX_DTYPE = np.int64
+#: dtype used for edge weights and distances.  float64 covers both the
+#: paper's integer 1..1000 weights and the Graph500 unit-interval weights.
+WEIGHT_DTYPE = np.float64
+
+
+class GraphValidationError(ValueError):
+    """Raised when CSR arrays are structurally inconsistent."""
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """An immutable weighted directed graph in CSR form.
+
+    Parameters
+    ----------
+    row:
+        ``(n + 1,)`` int64 array; ``row[u]:row[u + 1]`` is the slice of
+        ``adj``/``weights`` holding vertex ``u``'s out-edges.
+    adj:
+        ``(m,)`` int64 array of edge destinations.
+    weights:
+        ``(m,)`` float64 array of edge weights (non-negative).
+    heavy_offsets:
+        optional ``(n,)`` int64 array; ``heavy_offsets[u]`` is the absolute
+        index into ``adj`` of the first *heavy* edge of ``u`` (the paper adds
+        this column to the row list in Fig. 4(c)).  ``None`` for graphs that
+        have not been weight-sorted.
+    delta:
+        the delta value ``heavy_offsets`` was computed for, or ``None``.
+    new_to_old / old_to_new:
+        optional relabeling permutations produced by degree reordering.
+    name:
+        human-readable label used in benchmark tables.
+    """
+
+    row: np.ndarray
+    adj: np.ndarray
+    weights: np.ndarray
+    heavy_offsets: np.ndarray | None = None
+    delta: float | None = None
+    new_to_old: np.ndarray | None = None
+    old_to_new: np.ndarray | None = None
+    name: str = "graph"
+    _degrees: np.ndarray = field(default=None, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # construction & validation
+    # ------------------------------------------------------------------
+    def __post_init__(self) -> None:
+        row = np.ascontiguousarray(self.row, dtype=VERTEX_DTYPE)
+        adj = np.ascontiguousarray(self.adj, dtype=VERTEX_DTYPE)
+        weights = np.ascontiguousarray(self.weights, dtype=WEIGHT_DTYPE)
+        object.__setattr__(self, "row", row)
+        object.__setattr__(self, "adj", adj)
+        object.__setattr__(self, "weights", weights)
+        if self.heavy_offsets is not None:
+            object.__setattr__(
+                self,
+                "heavy_offsets",
+                np.ascontiguousarray(self.heavy_offsets, dtype=VERTEX_DTYPE),
+            )
+        self._validate()
+        degrees = np.diff(row)
+        object.__setattr__(self, "_degrees", degrees)
+        # The arrays back simulated device memory; freeze them so an errant
+        # kernel cannot corrupt a shared graph.
+        for arr in (row, adj, weights, self.heavy_offsets, degrees):
+            if arr is not None:
+                arr.setflags(write=False)
+
+    def _validate(self) -> None:
+        if self.row.ndim != 1 or self.row.size < 1:
+            raise GraphValidationError("row list must be 1-D with size >= 1")
+        n = self.row.size - 1
+        m = self.adj.size
+        if self.row[0] != 0:
+            raise GraphValidationError("row[0] must be 0")
+        if self.row[-1] != m:
+            raise GraphValidationError(
+                f"row[-1] ({int(self.row[-1])}) must equal the edge count ({m})"
+            )
+        if np.any(np.diff(self.row) < 0):
+            raise GraphValidationError("row list must be non-decreasing")
+        if self.weights.size != m:
+            raise GraphValidationError("weights and adj must have equal size")
+        if m and (self.adj.min() < 0 or self.adj.max() >= n):
+            raise GraphValidationError("adjacency ids out of range")
+        if m and self.weights.min() < 0:
+            raise GraphValidationError("edge weights must be non-negative")
+        if self.heavy_offsets is not None:
+            if self.heavy_offsets.size != n:
+                raise GraphValidationError("heavy_offsets must have size n")
+            lo = self.row[:-1]
+            hi = self.row[1:]
+            if np.any(self.heavy_offsets < lo) or np.any(self.heavy_offsets > hi):
+                raise GraphValidationError(
+                    "heavy_offsets must lie within each vertex's edge range"
+                )
+
+    # ------------------------------------------------------------------
+    # basic properties
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return self.row.size - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges ``m`` (an undirected edge counts twice)."""
+        return self.adj.size
+
+    @property
+    def degrees(self) -> np.ndarray:
+        """Out-degree of every vertex, shape ``(n,)``."""
+        return self._degrees
+
+    @property
+    def average_degree(self) -> float:
+        """Mean out-degree; 0.0 for the empty graph."""
+        n = self.num_vertices
+        return float(self.num_edges) / n if n else 0.0
+
+    @property
+    def is_reordered(self) -> bool:
+        """True when the graph carries a vertex relabeling permutation."""
+        return self.new_to_old is not None
+
+    @property
+    def has_heavy_offsets(self) -> bool:
+        """True when per-vertex heavy-edge offsets are available."""
+        return self.heavy_offsets is not None
+
+    # ------------------------------------------------------------------
+    # per-vertex access
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> np.ndarray:
+        """Destination ids of ``u``'s out-edges (a read-only view)."""
+        return self.adj[self.row[u] : self.row[u + 1]]
+
+    def edge_weights(self, u: int) -> np.ndarray:
+        """Weights of ``u``'s out-edges (a read-only view)."""
+        return self.weights[self.row[u] : self.row[u + 1]]
+
+    def light_range(self, u: int) -> tuple[int, int]:
+        """``(start, stop)`` indices of ``u``'s light edges.
+
+        Requires heavy offsets (i.e. a weight-sorted graph).
+        """
+        if self.heavy_offsets is None:
+            raise ValueError("graph has no heavy-edge offsets; run PRO first")
+        return int(self.row[u]), int(self.heavy_offsets[u])
+
+    def heavy_range(self, u: int) -> tuple[int, int]:
+        """``(start, stop)`` indices of ``u``'s heavy edges."""
+        if self.heavy_offsets is None:
+            raise ValueError("graph has no heavy-edge offsets; run PRO first")
+        return int(self.heavy_offsets[u]), int(self.row[u + 1])
+
+    def light_degrees(self) -> np.ndarray:
+        """Number of light edges for every vertex (requires heavy offsets)."""
+        if self.heavy_offsets is None:
+            raise ValueError("graph has no heavy-edge offsets; run PRO first")
+        return self.heavy_offsets - self.row[:-1]
+
+    def iter_edges(self) -> Iterator[tuple[int, int, float]]:
+        """Yield ``(u, v, w)`` for every directed edge.
+
+        Intended for tests and tiny graphs; benchmark code must use the flat
+        arrays directly.
+        """
+        src = self.edge_sources()
+        for u, v, w in zip(src, self.adj, self.weights):
+            yield int(u), int(v), float(w)
+
+    def edge_sources(self) -> np.ndarray:
+        """Source vertex of every edge, shape ``(m,)`` (computed, not stored)."""
+        return np.repeat(
+            np.arange(self.num_vertices, dtype=VERTEX_DTYPE), self._degrees
+        )
+
+    # ------------------------------------------------------------------
+    # transforms
+    # ------------------------------------------------------------------
+    def with_weights(self, weights: np.ndarray, name: str | None = None) -> "CSRGraph":
+        """Return a copy of this graph with a new weight array.
+
+        Heavy offsets are dropped because they are weight-dependent.
+        """
+        return CSRGraph(
+            row=self.row,
+            adj=self.adj,
+            weights=weights,
+            new_to_old=self.new_to_old,
+            old_to_new=self.old_to_new,
+            name=name if name is not None else self.name,
+        )
+
+    def to_original_order(self, values: np.ndarray) -> np.ndarray:
+        """Map a per-vertex array from reordered ids back to original ids.
+
+        Identity when the graph carries no permutation.
+        """
+        if self.new_to_old is None:
+            return values
+        out = np.empty_like(values)
+        out[self.new_to_old] = values
+        return out
+
+    def max_weight(self) -> float:
+        """Largest edge weight (0.0 for the edgeless graph)."""
+        return float(self.weights.max()) if self.num_edges else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        flags = []
+        if self.is_reordered:
+            flags.append("reordered")
+        if self.has_heavy_offsets:
+            flags.append(f"heavy@delta={self.delta}")
+        extra = f" [{', '.join(flags)}]" if flags else ""
+        return (
+            f"CSRGraph(name={self.name!r}, n={self.num_vertices}, "
+            f"m={self.num_edges}{extra})"
+        )

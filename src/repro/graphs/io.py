@@ -1,0 +1,152 @@
+"""Graph serialization: edge-list text, DIMACS ``.gr`` and binary CSR.
+
+The SNAP datasets the paper uses ship as whitespace-separated edge lists;
+the 9th DIMACS shortest-path challenge (road networks) uses the ``.gr``
+format.  Both readers are provided so a user with the original files can run
+the benchmarks on the real inputs, and a compact ``.npz`` CSR round-trip is
+provided for caching generated surrogates between benchmark runs.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import numpy as np
+
+from .builder import from_edges
+from .csr import CSRGraph, VERTEX_DTYPE, WEIGHT_DTYPE
+
+__all__ = [
+    "read_edge_list",
+    "write_edge_list",
+    "read_dimacs_gr",
+    "write_dimacs_gr",
+    "save_npz",
+    "load_npz",
+]
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    *,
+    symmetrize: bool = True,
+    default_weight: float = 1.0,
+    comment: str = "#",
+    name: str | None = None,
+) -> CSRGraph:
+    """Read a SNAP-style whitespace edge list.
+
+    Lines are ``src dst [weight]``; lines starting with ``comment`` are
+    skipped.  Missing weights default to ``default_weight`` (the paper
+    replaces them with uniform 1..1000 draws afterwards — see
+    :func:`repro.graphs.weights.reweight`).
+    """
+    srcs: list[int] = []
+    dsts: list[int] = []
+    ws: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line or line.startswith(comment):
+                continue
+            parts = line.split()
+            srcs.append(int(parts[0]))
+            dsts.append(int(parts[1]))
+            ws.append(float(parts[2]) if len(parts) > 2 else default_weight)
+    label = name or Path(path).stem
+    return from_edges(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(ws, dtype=WEIGHT_DTYPE),
+        symmetrize=symmetrize,
+        name=label,
+    )
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write ``src dst weight`` lines (directed arcs, one per line)."""
+    src = graph.edge_sources()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# {graph.name}: n={graph.num_vertices} m={graph.num_edges}\n")
+        for u, v, w in zip(src, graph.adj, graph.weights):
+            fh.write(f"{int(u)} {int(v)} {w:g}\n")
+
+
+def read_dimacs_gr(path: str | os.PathLike, *, name: str | None = None) -> CSRGraph:
+    """Read a 9th-DIMACS ``.gr`` shortest-path instance.
+
+    Format: ``c`` comment lines, one ``p sp <n> <m>`` problem line, and
+    ``a <src> <dst> <weight>`` arc lines with 1-based vertex ids.
+    """
+    n = None
+    srcs: list[int] = []
+    dsts: list[int] = []
+    ws: list[float] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if line.startswith("c") or not line.strip():
+                continue
+            if line.startswith("p"):
+                parts = line.split()
+                if len(parts) != 4 or parts[1] != "sp":
+                    raise ValueError(f"malformed DIMACS problem line: {line!r}")
+                n = int(parts[2])
+            elif line.startswith("a"):
+                _, u, v, w = line.split()
+                srcs.append(int(u) - 1)
+                dsts.append(int(v) - 1)
+                ws.append(float(w))
+    if n is None:
+        raise ValueError("DIMACS file has no problem line")
+    label = name or Path(path).stem
+    return from_edges(
+        np.asarray(srcs, dtype=VERTEX_DTYPE),
+        np.asarray(dsts, dtype=VERTEX_DTYPE),
+        np.asarray(ws, dtype=WEIGHT_DTYPE),
+        num_vertices=n,
+        symmetrize=False,
+        name=label,
+    )
+
+
+def write_dimacs_gr(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write the graph as a DIMACS ``.gr`` instance (1-based, directed arcs)."""
+    src = graph.edge_sources()
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"c {graph.name}\n")
+        fh.write(f"p sp {graph.num_vertices} {graph.num_edges}\n")
+        for u, v, w in zip(src, graph.adj, graph.weights):
+            fh.write(f"a {int(u) + 1} {int(v) + 1} {w:g}\n")
+
+
+def save_npz(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Persist the CSR arrays (and any PRO metadata) to a compressed .npz."""
+    payload: dict[str, np.ndarray] = {
+        "row": graph.row,
+        "adj": graph.adj,
+        "weights": graph.weights,
+        "name": np.array(graph.name),
+    }
+    if graph.heavy_offsets is not None:
+        payload["heavy_offsets"] = graph.heavy_offsets
+        payload["delta"] = np.array(graph.delta, dtype=WEIGHT_DTYPE)
+    if graph.new_to_old is not None:
+        payload["new_to_old"] = graph.new_to_old
+        payload["old_to_new"] = graph.old_to_new
+    np.savez_compressed(path, **payload)
+
+
+def load_npz(path: str | os.PathLike) -> CSRGraph:
+    """Load a graph previously written by :func:`save_npz`."""
+    data = np.load(path, allow_pickle=False)
+    return CSRGraph(
+        row=data["row"],
+        adj=data["adj"],
+        weights=data["weights"],
+        heavy_offsets=data["heavy_offsets"] if "heavy_offsets" in data else None,
+        delta=float(data["delta"]) if "delta" in data else None,
+        new_to_old=data["new_to_old"] if "new_to_old" in data else None,
+        old_to_new=data["old_to_new"] if "old_to_new" in data else None,
+        name=str(data["name"]),
+    )

@@ -1,0 +1,189 @@
+"""Scaled stand-ins for the paper's real-world datasets (Table 1).
+
+The paper evaluates on ten SNAP/Network-Repository graphs (up to soc-twitter's
+265 M edges) which are neither bundled with this repository nor downloadable
+in the offline environment.  Each entry here generates a *structural
+surrogate* at roughly 1/64–1/256 the original edge count from the matching
+generator family:
+
+========  =======================  =================================
+dataset   structural class         surrogate generator
+========  =======================  =================================
+road-TX   planar, uniform degree,  2-D lattice with sparse diagonals
+          huge diameter
+Amazon    co-purchase, mild tail   preferential attachment
+web-GL    web, power law           R-MAT (moderate skew)
+com-LJ    social, power law        R-MAT (Graph500 initiator)
+soc-PK    social, power law        R-MAT, higher edgefactor
+com-OK    social, dense power law  R-MAT, edgefactor ~19
+as-Skt    internet topology        R-MAT (strong skew)
+soc-LJ    social, power law        R-MAT
+wiki-TK   communication, extreme   star-heavy R-MAT (A=0.65)
+          skew, avg degree ~2
+soc-TW    social, very large       R-MAT (largest surrogate)
+k-n21-16  Graph500 Kronecker       Kronecker SCALE 13, ef 16
+========  =======================  =================================
+
+What the substitution preserves: degree-distribution class (uniform vs
+power law and its skew), average degree, and diameter class — the three
+graph properties every effect in the paper (load imbalance, locality,
+convergence speed) is attributed to.  What it does not preserve: absolute
+vertex/edge counts, hence absolute runtimes; EXPERIMENTS.md therefore
+compares *shapes* (speedup orderings, ratios) rather than milliseconds.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from .csr import CSRGraph
+from . import generators as gen
+
+__all__ = ["SurrogateSpec", "DATASETS", "load", "dataset_names", "PAPER_TABLE1"]
+
+
+@dataclass(frozen=True)
+class SurrogateSpec:
+    """Recipe for one dataset surrogate."""
+
+    name: str
+    #: the real dataset this stands in for
+    stands_for: str
+    #: paper-reported vertex/edge counts of the real dataset (Table 1)
+    paper_vertices: int
+    paper_edges: int
+    paper_avg_degree: float
+    paper_diameter: int
+    #: zero-argument factory producing the surrogate graph
+    factory: Callable[[], CSRGraph]
+
+
+def _rmat(name: str, scale: int, edgefactor: int, seed: int, a: float = 0.57):
+    b = c = (1.0 - a - 0.05) / 2.0
+    initiator = (a, b, c, 0.05)
+
+    def build() -> CSRGraph:
+        import numpy as np
+
+        from .builder import from_edges
+        from .weights import uniform_int_weights
+
+        rng = np.random.default_rng(seed)
+        m = edgefactor * (1 << scale)
+        src, dst = gen.rmat_edges(scale, m, initiator=initiator, rng=rng)
+        w = uniform_int_weights(m, 1000, rng)
+        return from_edges(
+            src, dst, w, num_vertices=1 << scale, symmetrize=True, name=name
+        )
+
+    return build
+
+
+# Paper Table 1 numbers, kept verbatim for the bench_table1 comparison.
+PAPER_TABLE1 = {
+    "road-TX": (1_379_917, 1_921_660, 1.39, 1054),
+    "Amazon": (403_394, 3_387_388, 8.39, 21),
+    "web-GL": (875_713, 5_105_039, 5.82, 21),
+    "com-LJ": (3_997_962, 34_681_189, 8.67, 17),
+    "soc-PK": (1_632_803, 30_622_564, 18.75, 11),
+    "com-OK": (3_072_441, 117_185_083, 38.141, 9),
+    "as-Skt": (1_696_415, 11_095_298, 6.540, 25),
+    "soc-LJ": (4_847_571, 68_993_773, 14.233, 16),
+    "wiki-TK": (2_394_385, 5_021_410, 2.097, 9),
+    "soc-TW": (21_297_772, 265_025_545, 12.444, 18),
+}
+
+
+DATASETS: dict[str, SurrogateSpec] = {
+    "road-TX": SurrogateSpec(
+        "road-TX",
+        "roadNet-TX (SNAP)",
+        *PAPER_TABLE1["road-TX"],
+        factory=lambda: gen.grid_road_network(
+            128, 128, diagonal_prob=0.03, drop_prob=0.06, seed=11, name="road-TX"
+        ),
+    ),
+    "Amazon": SurrogateSpec(
+        "Amazon",
+        "amazon0601 (SNAP)",
+        *PAPER_TABLE1["Amazon"],
+        factory=lambda: gen.preferential_attachment(
+            6000, 4, seed=12, name="Amazon"
+        ),
+    ),
+    "web-GL": SurrogateSpec(
+        "web-GL",
+        "web-Google (SNAP)",
+        *PAPER_TABLE1["web-GL"],
+        factory=_rmat("web-GL", scale=13, edgefactor=3, seed=13, a=0.60),
+    ),
+    "com-LJ": SurrogateSpec(
+        "com-LJ",
+        "com-LiveJournal (SNAP)",
+        *PAPER_TABLE1["com-LJ"],
+        factory=_rmat("com-LJ", scale=14, edgefactor=4, seed=14),
+    ),
+    "soc-PK": SurrogateSpec(
+        "soc-PK",
+        "soc-Pokec (SNAP)",
+        *PAPER_TABLE1["soc-PK"],
+        factory=_rmat("soc-PK", scale=13, edgefactor=9, seed=15),
+    ),
+    "com-OK": SurrogateSpec(
+        "com-OK",
+        "com-Orkut (SNAP)",
+        *PAPER_TABLE1["com-OK"],
+        factory=_rmat("com-OK", scale=13, edgefactor=19, seed=16),
+    ),
+    "as-Skt": SurrogateSpec(
+        "as-Skt",
+        "as-Skitter (SNAP)",
+        *PAPER_TABLE1["as-Skt"],
+        factory=_rmat("as-Skt", scale=13, edgefactor=3, seed=17, a=0.62),
+    ),
+    "soc-LJ": SurrogateSpec(
+        "soc-LJ",
+        "soc-LiveJournal1 (SNAP)",
+        *PAPER_TABLE1["soc-LJ"],
+        factory=_rmat("soc-LJ", scale=14, edgefactor=7, seed=18),
+    ),
+    "wiki-TK": SurrogateSpec(
+        "wiki-TK",
+        "wiki-Talk (SNAP)",
+        *PAPER_TABLE1["wiki-TK"],
+        factory=_rmat("wiki-TK", scale=13, edgefactor=1, seed=19, a=0.65),
+    ),
+    "soc-TW": SurrogateSpec(
+        "soc-TW",
+        "soc-twitter-2010 (Network Repository)",
+        *PAPER_TABLE1["soc-TW"],
+        factory=_rmat("soc-TW", scale=15, edgefactor=6, seed=20),
+    ),
+    "k-n21-16": SurrogateSpec(
+        "k-n21-16",
+        "Graph500 Kronecker SCALE=21 edgefactor=16",
+        2_097_152,
+        33_554_432,
+        16.0,
+        8,
+        factory=lambda: gen.kronecker(
+            13, 16, weights="int", seed=21, name="k-n21-16"
+        ),
+    ),
+}
+
+
+def dataset_names() -> list[str]:
+    """Names of all registered surrogates, Table-1 order first."""
+    return list(DATASETS)
+
+
+def load(name: str) -> CSRGraph:
+    """Build (deterministically) the surrogate for dataset ``name``."""
+    try:
+        spec = DATASETS[name]
+    except KeyError:
+        known = ", ".join(DATASETS)
+        raise KeyError(f"unknown dataset {name!r}; known: {known}") from None
+    return spec.factory()

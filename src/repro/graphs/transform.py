@@ -1,0 +1,98 @@
+"""Graph transforms: subgraphs, component restriction, weight scaling.
+
+Utilities a benchmark or application layer needs around the immutable CSR
+core: extracting induced subgraphs (relabeled densely), restricting to the
+largest connected component (so every SSSP source reaches most vertices,
+as the paper's methodology assumes), reversing edge direction, and scaling
+or clamping weights.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .builder import from_edges
+from .csr import CSRGraph, VERTEX_DTYPE
+from .properties import largest_component_vertices
+
+__all__ = [
+    "induced_subgraph",
+    "largest_component_subgraph",
+    "reverse_graph",
+    "scale_weights",
+    "clamp_weights",
+]
+
+
+def induced_subgraph(
+    graph: CSRGraph, vertices: np.ndarray, *, name: str | None = None
+) -> tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by ``vertices``, densely relabeled.
+
+    Returns ``(subgraph, new_to_old)`` where ``new_to_old[k]`` is the
+    original id of subgraph vertex ``k``.  Edges with either endpoint
+    outside the set are dropped.
+    """
+    vertices = np.unique(np.asarray(vertices, dtype=VERTEX_DTYPE))
+    if vertices.size and (
+        vertices[0] < 0 or vertices[-1] >= graph.num_vertices
+    ):
+        raise ValueError("vertex ids out of range")
+    old_to_new = np.full(graph.num_vertices, -1, dtype=VERTEX_DTYPE)
+    old_to_new[vertices] = np.arange(vertices.size, dtype=VERTEX_DTYPE)
+
+    src = graph.edge_sources()
+    keep = (old_to_new[src] >= 0) & (old_to_new[graph.adj] >= 0)
+    sub = from_edges(
+        old_to_new[src[keep]],
+        old_to_new[graph.adj[keep]],
+        graph.weights[keep],
+        num_vertices=vertices.size,
+        symmetrize=False,
+        dedup=False,
+        drop_self_loops=False,
+        name=name or f"{graph.name}-sub",
+    )
+    return sub, vertices
+
+
+def largest_component_subgraph(graph: CSRGraph) -> tuple[CSRGraph, np.ndarray]:
+    """Restrict ``graph`` to its largest connected component."""
+    comp = largest_component_vertices(graph)
+    return induced_subgraph(graph, comp, name=f"{graph.name}-lcc")
+
+
+def reverse_graph(graph: CSRGraph) -> CSRGraph:
+    """Transpose: every edge ``u -> v`` becomes ``v -> u``.
+
+    Single-destination shortest paths on the original graph are SSSP on
+    the transpose.
+    """
+    return from_edges(
+        graph.adj,
+        graph.edge_sources(),
+        graph.weights,
+        num_vertices=graph.num_vertices,
+        symmetrize=False,
+        dedup=False,
+        drop_self_loops=False,
+        name=f"{graph.name}-rev",
+    )
+
+
+def scale_weights(graph: CSRGraph, factor: float) -> CSRGraph:
+    """Multiply every weight by ``factor`` (> 0).
+
+    Distances scale by exactly ``factor``; bucket structure scales with
+    them, so this is the clean way to test Δ-invariance.
+    """
+    if factor <= 0:
+        raise ValueError("factor must be positive")
+    return graph.with_weights(graph.weights * factor)
+
+
+def clamp_weights(graph: CSRGraph, lo: float, hi: float) -> CSRGraph:
+    """Clamp weights into ``[lo, hi]`` (tightening weight variance)."""
+    if not 0 <= lo <= hi:
+        raise ValueError("need 0 <= lo <= hi")
+    return graph.with_weights(np.clip(graph.weights, lo, hi))

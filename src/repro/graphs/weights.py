@@ -1,0 +1,82 @@
+"""Edge-weight generation schemes.
+
+The paper uses two weight conventions:
+
+* for SNAP graphs (which ship unweighted) it draws uniform integers in
+  ``1..1000`` (§5.1.2); and
+* for the Graph500 Δ-stepping motivation experiments (Figs. 2–3) weights are
+  the Graph500 reference-code convention of uniform reals in ``[0, 1)`` with
+  the empirical ``Δ = 0.1``.
+
+Both are provided here, plus Euclidean-style weights for road networks where
+weight correlates with geometric length.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import WEIGHT_DTYPE
+
+__all__ = [
+    "uniform_int_weights",
+    "uniform_unit_weights",
+    "exponential_weights",
+    "reweight",
+]
+
+
+def uniform_int_weights(
+    num_edges: int, max_weight: int = 1000, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Uniform integer weights in ``1..max_weight`` (inclusive), as float64."""
+    if max_weight < 1:
+        raise ValueError("max_weight must be >= 1")
+    rng = rng or np.random.default_rng()
+    return rng.integers(1, max_weight + 1, size=num_edges).astype(WEIGHT_DTYPE)
+
+
+def uniform_unit_weights(
+    num_edges: int, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Uniform real weights in ``[0, 1)`` — the Graph500 SSSP convention."""
+    rng = rng or np.random.default_rng()
+    return rng.random(num_edges).astype(WEIGHT_DTYPE)
+
+
+def exponential_weights(
+    num_edges: int, mean: float = 1.0, rng: np.random.Generator | None = None
+) -> np.ndarray:
+    """Exponentially distributed weights (heavy-ish tail stress test)."""
+    if mean <= 0:
+        raise ValueError("mean must be positive")
+    rng = rng or np.random.default_rng()
+    return rng.exponential(mean, size=num_edges).astype(WEIGHT_DTYPE)
+
+
+def reweight(graph, scheme: str = "int", *, max_weight: int = 1000, seed: int = 0):
+    """Return ``graph`` with freshly drawn weights under ``scheme``.
+
+    ``scheme`` is one of ``"int"``, ``"unit"`` or ``"exp"``.  Because an
+    undirected CSR graph stores each edge twice, the two arcs of one
+    undirected edge are assigned the *same* weight by hashing the unordered
+    endpoint pair — otherwise SSSP on the directed expansion would not match
+    the undirected problem the paper solves.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    src = graph.edge_sources()
+    dst = graph.adj
+    lo = np.minimum(src, dst)
+    hi = np.maximum(src, dst)
+    key = lo * n + hi
+    uniq, inverse = np.unique(key, return_inverse=True)
+    if scheme == "int":
+        per_edge = uniform_int_weights(uniq.size, max_weight, rng)
+    elif scheme == "unit":
+        per_edge = uniform_unit_weights(uniq.size, rng)
+    elif scheme == "exp":
+        per_edge = exponential_weights(uniq.size, 1.0, rng)
+    else:
+        raise ValueError(f"unknown weight scheme: {scheme!r}")
+    return graph.with_weights(per_edge[inverse])

@@ -1,0 +1,18 @@
+"""Measurement: work efficiency, execution traces, throughput."""
+
+from .convergence import ConvergenceCurve, convergence_from_trace
+from .gteps import geometric_mean, gteps, speedup
+from .recorder import BucketTrace, TraceRecorder
+from .workstats import WorkStats, WorkTally
+
+__all__ = [
+    "WorkStats",
+    "WorkTally",
+    "TraceRecorder",
+    "BucketTrace",
+    "gteps",
+    "speedup",
+    "geometric_mean",
+    "ConvergenceCurve",
+    "convergence_from_trace",
+]

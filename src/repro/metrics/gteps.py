@@ -1,0 +1,38 @@
+"""Throughput and speedup metrics.
+
+The paper reports runtimes in milliseconds and throughput in GTEPS
+(giga-traversed-edges per second), where "GTEPS takes the ratio of the
+number of edges in the graph over the traversal time" (§5.1.3) — i.e. the
+*graph's* edge count, not the number of relaxations performed, so work
+inefficiency lowers GTEPS.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["gteps", "speedup", "geometric_mean"]
+
+
+def gteps(num_edges: int, time_s: float) -> float:
+    """Giga-traversed edges per second for one SSSP run."""
+    if time_s <= 0:
+        raise ValueError("time must be positive")
+    return num_edges / time_s / 1e9
+
+
+def speedup(baseline_time: float, optimized_time: float) -> float:
+    """``baseline / optimized`` — >1 means the optimized run is faster."""
+    if optimized_time <= 0:
+        raise ValueError("optimized time must be positive")
+    return baseline_time / optimized_time
+
+
+def geometric_mean(values) -> float:
+    """Geometric mean (the right average for speedup ratios)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))

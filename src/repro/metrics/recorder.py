@@ -1,0 +1,88 @@
+"""Execution-trace recording for the motivation figures.
+
+Fig. 2 plots the number of active vertices in every bucket of Δ-stepping;
+Fig. 3 plots the number of active vertices in every phase-1 iteration of the
+peak bucket, plus the valid/total update counts.  Algorithms emit these
+events through :class:`TraceRecorder`, which the corresponding benchmarks
+then turn back into the paper's series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["BucketTrace", "TraceRecorder"]
+
+
+@dataclass
+class BucketTrace:
+    """Events observed while one bucket was being processed."""
+
+    bucket_id: int
+    #: vertices active when the bucket was first settled
+    initial_active: int = 0
+    #: active-vertex count at each phase-1 iteration (sync mode) or
+    #: micro-round (async mode)
+    phase1_iterations: list[int] = field(default_factory=list)
+    #: simulated time spent in this bucket (seconds)
+    time_s: float = 0.0
+    #: Δ interval this bucket covered
+    delta_lo: float = 0.0
+    delta_hi: float = 0.0
+    #: phase-1 update totals for this bucket (filled after convergence,
+    #: when the final distances are known — the Fig. 3 annotations)
+    phase1_total_updates: int = 0
+    phase1_valid_updates: int = 0
+
+    @property
+    def num_iterations(self) -> int:
+        """Phase-1 iterations this bucket needed."""
+        return len(self.phase1_iterations)
+
+
+class TraceRecorder:
+    """Collects per-bucket execution traces during one SSSP run."""
+
+    def __init__(self) -> None:
+        self.buckets: list[BucketTrace] = []
+        self._open: BucketTrace | None = None
+
+    def begin_bucket(
+        self, bucket_id: int, active: int, lo: float, hi: float
+    ) -> None:
+        """Start recording a bucket with ``active`` initial vertices."""
+        self._open = BucketTrace(
+            bucket_id=bucket_id, initial_active=active, delta_lo=lo, delta_hi=hi
+        )
+
+    def iteration(self, active: int) -> None:
+        """Record one phase-1 iteration with ``active`` vertices."""
+        if self._open is not None:
+            self._open.phase1_iterations.append(active)
+
+    def end_bucket(self, time_s: float = 0.0) -> None:
+        """Close the current bucket, attributing ``time_s`` to it."""
+        if self._open is not None:
+            self._open.time_s = time_s
+            self.buckets.append(self._open)
+            self._open = None
+
+    # ------------------------------------------------------------------
+    # figure-series accessors
+    # ------------------------------------------------------------------
+    def active_per_bucket(self) -> list[tuple[int, int]]:
+        """``(bucket_id, initial active vertices)`` — the Fig. 2 series."""
+        return [(b.bucket_id, b.initial_active) for b in self.buckets]
+
+    def peak_bucket(self) -> BucketTrace | None:
+        """The bucket with the most initial active vertices (Fig. 3's focus)."""
+        if not self.buckets:
+            return None
+        return max(self.buckets, key=lambda b: b.initial_active)
+
+    def peak_time_fraction(self) -> float:
+        """Fraction of total time spent in the costliest bucket (§3.3)."""
+        total = sum(b.time_s for b in self.buckets)
+        if total == 0:
+            return 0.0
+        return max(b.time_s for b in self.buckets) / total

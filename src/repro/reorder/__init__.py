@@ -1,0 +1,23 @@
+"""Property-driven reordering (PRO, paper §4.1)."""
+
+from .degree import apply_permutation, degree_order, reorder_by_degree
+from .heavy_offsets import (
+    attach_heavy_offsets,
+    compute_heavy_offsets,
+    recompute_offsets,
+)
+from .pipeline import ProReport, apply_pro, pro_report
+from .weight_sort import sort_adjacency_by_weight
+
+__all__ = [
+    "degree_order",
+    "apply_permutation",
+    "reorder_by_degree",
+    "sort_adjacency_by_weight",
+    "compute_heavy_offsets",
+    "attach_heavy_offsets",
+    "recompute_offsets",
+    "apply_pro",
+    "pro_report",
+    "ProReport",
+]

@@ -1,0 +1,86 @@
+"""Degree-descending vertex relabeling (first half of PRO, §4.1).
+
+"We reorder the vertices in descending order by degree and reassign the
+index for them.  In this way, vertices with high degrees are assigned low
+vertex id and stored together."  High-degree vertices are touched most often
+during SSSP, so packing their ``dist`` entries and adjacency segments into
+the lowest addresses concentrates the hot working set — the locality effect
+the paper measures as a higher L1 global hit rate (Fig. 10(d)).
+
+Ties are broken by original vertex id (a *stable* sort), which is what
+reproduces the exact relabeling ``[1, 3, 4, 0, 2]`` of the paper's Fig. 4
+worked example.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph, VERTEX_DTYPE
+from ..util.scan import segmented_arange
+
+__all__ = ["degree_order", "apply_permutation", "reorder_by_degree"]
+
+
+def degree_order(graph: CSRGraph) -> np.ndarray:
+    """Return ``new_to_old``: old ids listed in descending-degree order.
+
+    ``new_to_old[k]`` is the original id of the vertex that receives new id
+    ``k``.  Stable in original id among equal degrees.
+    """
+    # argsort is ascending; negate degrees for descending while keeping the
+    # stable tie-break on original id.
+    return np.argsort(-graph.degrees, kind="stable").astype(VERTEX_DTYPE)
+
+
+def apply_permutation(graph: CSRGraph, new_to_old: np.ndarray) -> CSRGraph:
+    """Relabel ``graph``'s vertices according to ``new_to_old``.
+
+    The topology is unchanged (Fig. 4(b): "the topology of the degree-driven
+    reordering graph is the same as the original graph"); only ids move.
+    Adjacency segments are physically re-packed so new id order is also
+    memory order.
+    """
+    n = graph.num_vertices
+    new_to_old = np.asarray(new_to_old, dtype=VERTEX_DTYPE)
+    if new_to_old.shape != (n,):
+        raise ValueError("permutation must have one entry per vertex")
+    check = np.zeros(n, dtype=bool)
+    check[new_to_old] = True
+    if not check.all():
+        raise ValueError("new_to_old is not a permutation of 0..n-1")
+    old_to_new = np.empty(n, dtype=VERTEX_DTYPE)
+    old_to_new[new_to_old] = np.arange(n, dtype=VERTEX_DTYPE)
+
+    old_starts = graph.row[new_to_old]
+    degrees = graph.degrees[new_to_old]
+    new_row = np.zeros(n + 1, dtype=VERTEX_DTYPE)
+    np.cumsum(degrees, out=new_row[1:])
+
+    # Gather each old adjacency segment into its new position.
+    take = np.repeat(old_starts, degrees) + segmented_arange(degrees)
+    new_adj = old_to_new[graph.adj[take]]
+    new_weights = graph.weights[take]
+
+    # Compose with any existing permutation so to_original_order always maps
+    # back to the *first* id space.
+    if graph.new_to_old is not None:
+        composed_new_to_old = graph.new_to_old[new_to_old]
+    else:
+        composed_new_to_old = new_to_old
+    composed_old_to_new = np.empty(n, dtype=VERTEX_DTYPE)
+    composed_old_to_new[composed_new_to_old] = np.arange(n, dtype=VERTEX_DTYPE)
+
+    return CSRGraph(
+        row=new_row,
+        adj=new_adj,
+        weights=new_weights,
+        new_to_old=composed_new_to_old,
+        old_to_new=composed_old_to_new,
+        name=graph.name,
+    )
+
+
+def reorder_by_degree(graph: CSRGraph) -> CSRGraph:
+    """Convenience: relabel ``graph`` in stable descending-degree order."""
+    return apply_permutation(graph, degree_order(graph))

@@ -1,0 +1,127 @@
+"""Multi-source batch evaluation — the paper's measurement methodology.
+
+"We select 64 different starting vertices randomly.  For each starting
+vertex, the SSSP search is launched 10 times to get the average
+performance" (§5.1.3).  This module packages that protocol: draw sources
+from the largest component, run a method over all of them, and aggregate
+times/throughput/work statistics with the summary statistics a benchmark
+report needs.  (The simulator is deterministic, so the 10-repetition inner
+loop of the paper collapses to one run per source.)
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..graphs.properties import largest_component_vertices
+from .api import sssp
+from .result import SSSPResult
+from .validate import validate_distances
+
+__all__ = ["BatchResult", "run_batch", "draw_sources"]
+
+
+def draw_sources(
+    graph: CSRGraph, num_sources: int = 64, seed: int = 0
+) -> list[int]:
+    """Random distinct sources from the largest connected component."""
+    comp = largest_component_vertices(graph)
+    if comp.size == 0:
+        raise ValueError("graph has no vertices")
+    rng = np.random.default_rng(seed)
+    take = min(num_sources, comp.size)
+    return [int(v) for v in rng.choice(comp, size=take, replace=False)]
+
+
+@dataclass
+class BatchResult:
+    """Aggregated measurements over a batch of sources."""
+
+    graph_name: str
+    method: str
+    sources: list[int]
+    results: list[SSSPResult] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    @property
+    def times_ms(self) -> list[float]:
+        """Per-source simulated times."""
+        return [r.time_ms for r in self.results]
+
+    @property
+    def mean_time_ms(self) -> float:
+        """Arithmetic mean time (the paper's reported statistic)."""
+        return statistics.fmean(self.times_ms)
+
+    @property
+    def stdev_time_ms(self) -> float:
+        """Standard deviation of per-source times (0 for one source)."""
+        t = self.times_ms
+        return statistics.stdev(t) if len(t) > 1 else 0.0
+
+    @property
+    def min_time_ms(self) -> float:
+        """Fastest source."""
+        return min(self.times_ms)
+
+    @property
+    def max_time_ms(self) -> float:
+        """Slowest source."""
+        return max(self.times_ms)
+
+    @property
+    def mean_gteps(self) -> float:
+        """Mean throughput."""
+        return statistics.fmean(r.gteps for r in self.results)
+
+    @property
+    def mean_update_ratio(self) -> float:
+        """Mean total/valid update ratio over sources."""
+        ratios = [
+            r.work.update_ratio
+            for r in self.results
+            if r.work is not None and np.isfinite(r.work.update_ratio)
+        ]
+        return statistics.fmean(ratios) if ratios else float("nan")
+
+    def summary(self) -> dict[str, float]:
+        """Plain-dict summary for table assembly."""
+        return {
+            "sources": len(self.sources),
+            "mean_ms": self.mean_time_ms,
+            "stdev_ms": self.stdev_time_ms,
+            "min_ms": self.min_time_ms,
+            "max_ms": self.max_time_ms,
+            "gteps": self.mean_gteps,
+            "update_ratio": self.mean_update_ratio,
+        }
+
+
+def run_batch(
+    graph: CSRGraph,
+    method: str = "rdbs",
+    *,
+    num_sources: int = 64,
+    seed: int = 0,
+    validate: bool = False,
+    sources: list[int] | None = None,
+    **kwargs,
+) -> BatchResult:
+    """Run ``method`` from many sources and aggregate (paper §5.1.3).
+
+    ``validate=True`` checks every run against the SciPy oracle (slow for
+    large batches — intended for tests).
+    """
+    if sources is None:
+        sources = draw_sources(graph, num_sources, seed)
+    batch = BatchResult(graph_name=graph.name, method=method, sources=sources)
+    for s in sources:
+        r = sssp(graph, s, method=method, **kwargs)
+        if validate:
+            validate_distances(graph, s, r.dist)
+        batch.results.append(r)
+    return batch

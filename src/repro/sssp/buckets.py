@@ -1,0 +1,128 @@
+"""Bucket arithmetic and the dynamic-Δ controller (Eqs. 1–2, §4.3).
+
+Δ-stepping partitions tentative distances into buckets of width Δ.  The
+paper's bucket-aware execution makes the width *dynamic*: bucket ``i``'s
+width is ``Δ_i = Δ_{i-1} + ε_i`` with
+
+    ε_i = 0                                               for i = 0, 1
+    ε_i = |(C_{i-2} − C_{i-1}) / (C_{i-2} + C_{i-1})|
+          · (T_{i-2} − T_{i-1}) / (T_{i-2} + T_{i-1}) · Δ_0   for i ≥ 2
+
+where ``C_i`` is the number of vertices that converged in bucket ``i`` and
+``T_i`` the number of threads bucket ``i`` used (a GPU-utilization proxy).
+When utilization is rising (``T_{i-1} > T_{i-2}``) the signed second factor
+is negative and Δ shrinks — narrower buckets keep work efficiency high;
+when utilization falls, Δ grows to expose more parallelism.  The controller
+below implements the recurrence verbatim and is shared by the RDBS engine
+and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["DeltaController", "BucketInterval", "bucket_of"]
+
+
+@dataclass(frozen=True)
+class BucketInterval:
+    """Half-open distance interval ``[lo, hi)`` covered by one bucket."""
+
+    index: int
+    lo: float
+    hi: float
+
+    @property
+    def width(self) -> float:
+        """Bucket width ``Δ_i``."""
+        return self.hi - self.lo
+
+
+@dataclass
+class DeltaController:
+    """Produces successive bucket intervals under the Eq. 1–2 recurrence.
+
+    Parameters
+    ----------
+    delta0:
+        the initial width ``Δ_0`` (also used for ``Δ_1`` — "the Δ0 and Δ1
+        value of the first and second buckets are fixed").
+    min_delta / max_delta:
+        safety clamps on the adjusted width; Eq. 1's ε is bounded by Δ_0 per
+        step, but repeated shrinking could otherwise drive Δ non-positive
+        on adversarial feedback.
+    """
+
+    delta0: float
+    min_delta: float | None = None
+    max_delta: float | None = None
+    #: history of (C_i, T_i) feedback, one entry per completed bucket
+    history: list[tuple[int, int]] = field(default_factory=list)
+    #: widths already produced (Δ_0, Δ_1, ...)
+    widths: list[float] = field(default_factory=list)
+    #: epsilons already produced
+    epsilons: list[float] = field(default_factory=list)
+    _next_lo: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.delta0 <= 0:
+            raise ValueError("delta0 must be positive")
+        if self.min_delta is None:
+            self.min_delta = self.delta0 * 0.1
+        if self.max_delta is None:
+            self.max_delta = self.delta0 * 16.0
+
+    # ------------------------------------------------------------------
+    def feedback(self, converged: int, threads: int) -> None:
+        """Report bucket ``i``'s (C_i, T_i) after processing it."""
+        self.history.append((int(converged), int(threads)))
+
+    def epsilon(self, i: int) -> float:
+        """Compute ε_i from recorded history (Eq. 1)."""
+        if i < 2:
+            return 0.0
+        if len(self.history) < i:
+            raise ValueError(
+                f"epsilon({i}) needs feedback for buckets 0..{i - 1}; "
+                f"have {len(self.history)}"
+            )
+        c2, t2 = self.history[i - 2]
+        c1, t1 = self.history[i - 1]
+        c_sum = c2 + c1
+        t_sum = t2 + t1
+        if c_sum == 0 or t_sum == 0:
+            return 0.0
+        c_term = abs(c2 - c1) / c_sum
+        t_term = (t2 - t1) / t_sum
+        return c_term * t_term * self.delta0
+
+    def next_interval(self) -> BucketInterval:
+        """Produce bucket ``i``'s interval, applying Eq. 2 for its width."""
+        i = len(self.widths)
+        if i < 2:
+            width = self.delta0
+            eps = 0.0
+        else:
+            eps = self.epsilon(i)
+            width = self.widths[-1] + eps
+            width = min(max(width, self.min_delta), self.max_delta)
+        self.widths.append(width)
+        self.epsilons.append(eps)
+        lo = self._next_lo
+        hi = lo + width
+        self._next_lo = hi
+        return BucketInterval(index=i, lo=lo, hi=hi)
+
+
+def bucket_of(dist: np.ndarray, delta: float) -> np.ndarray:
+    """Fixed-width bucket index of each distance (``inf`` → -1).
+
+    The classic Δ-stepping mapping ``floor(dist / Δ)`` used by the
+    synchronous baselines and the Fig. 2 analysis.
+    """
+    out = np.full(dist.shape, -1, dtype=np.int64)
+    finite = np.isfinite(dist)
+    out[finite] = np.floor(dist[finite] / delta).astype(np.int64)
+    return out

@@ -1,0 +1,135 @@
+"""PQ-Δ*: the CPU competitor (Dong et al., SPAA'21) with a multicore cost model.
+
+The paper's CPU baseline is the MIT stepping-algorithm framework's
+Δ*-stepping over a *lazy-batched priority queue* (LAB-PQ): extract the batch
+of vertices within Δ of the current minimum, relax their edges in parallel,
+lazily insert/decrease keys, repeat.  "We run PQ-Δ* using our host X86
+server, 26 cores (1 CPU), 52 threads in total."
+
+The algorithm below is a faithful Δ*-stepping implementation (batch
+extraction by distance window, lazy updates, light/heavy handled uniformly
+as in Δ*); since no 26-core Xeon is available here, its runtime comes from
+an explicit multicore cost model (:class:`CPUSpec`): per-batch fork/join
+overhead plus relaxation throughput scaled by core count and parallel
+efficiency.  The model's constants are datasheet-grade (memory-bound edge
+relaxation throughput), not fitted to the paper's table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..metrics.workstats import WorkStats
+from ..util.scan import segmented_arange, serialized_min_outcome
+from .gpu_rdbs import default_delta
+from .result import SSSPResult
+
+__all__ = ["CPUSpec", "XEON_8269CY", "pq_delta_star_sssp"]
+
+
+@dataclass(frozen=True)
+class CPUSpec:
+    """Multicore CPU cost model parameters."""
+
+    name: str
+    cores: int
+    threads: int
+    #: single-thread edge-relaxation latency (seconds/edge); dominated by
+    #: the random dist[] access — a DRAM-latency-class constant
+    per_edge_s: float
+    #: per-vertex batch-management cost (queue ops), seconds/vertex
+    per_vertex_s: float
+    #: fork/join overhead per parallel batch, seconds
+    batch_overhead_s: float
+    #: fraction of linear speedup the memory system sustains
+    parallel_efficiency: float
+
+    def batch_time(self, edges: int, vertices: int) -> float:
+        """Modeled wall time of one parallel relaxation batch."""
+        work = edges * self.per_edge_s + vertices * self.per_vertex_s
+        speedup = max(1.0, self.cores * self.parallel_efficiency)
+        return self.batch_overhead_s + work / speedup
+
+
+#: the paper's host CPU: Intel Xeon Platinum 8269CY, 26 cores / 52 threads
+XEON_8269CY = CPUSpec(
+    name="Xeon-8269CY",
+    cores=26,
+    threads=52,
+    per_edge_s=55e-9,
+    per_vertex_s=20e-9,
+    batch_overhead_s=3e-6,
+    parallel_efficiency=0.55,
+)
+
+
+def pq_delta_star_sssp(
+    graph: CSRGraph,
+    source: int,
+    *,
+    delta: float | None = None,
+    cpu: CPUSpec = XEON_8269CY,
+    max_batches: int = 10_000_000,
+) -> SSSPResult:
+    """Run Δ*-stepping over a lazy-batched priority queue (CPU model).
+
+    Δ*-stepping (Dong et al.) extracts *all* vertices within Δ of the
+    current queue minimum as one batch and relaxes **all** their out-edges
+    (no light/heavy split — that is the Δ* variant), with lazy deletions:
+    a vertex extracted with a stale distance is skipped.
+    """
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    if delta is None:
+        delta = default_delta(graph)
+
+    row, adj, w = graph.row, graph.adj, graph.weights
+    dist = np.full(n, np.inf)
+    dist[source] = 0.0
+    stats = WorkStats()
+    stats.record(np.array([source]), np.array([0.0]), np.array([True]))
+
+    settled = np.zeros(n, dtype=bool)
+    time_s = 0.0
+    batches = 0
+
+    while True:
+        pending = np.isfinite(dist) & ~settled
+        if not pending.any():
+            break
+        lo = float(dist[pending].min())
+        hi = lo + delta
+        batch = np.flatnonzero(pending & (dist < hi))
+        batches += 1
+        if batches > max_batches:
+            raise RuntimeError("batch limit exceeded")
+        settled[batch] = True
+
+        counts = (row[batch + 1] - row[batch]).astype(np.int64)
+        idx = np.repeat(row[batch], counts) + segmented_arange(counts)
+        targets = adj[idx]
+        nd = np.repeat(dist[batch], counts) + w[idx]
+        _old, updated = serialized_min_outcome(dist, targets, nd)
+        stats.record(targets, nd, updated)
+        # lazy decrease-key: any vertex whose distance improved re-enters
+        # the queue (its edges must be relaxed again with the fresh value);
+        # distances strictly decrease, so this terminates
+        reopened = np.unique(targets[updated])
+        settled[reopened] = False
+
+        time_s += cpu.batch_time(int(idx.size), int(batch.size))
+
+    return SSSPResult(
+        dist=dist,
+        source=source,
+        method="pq-delta*",
+        graph_name=graph.name,
+        time_ms=time_s * 1e3,
+        work=stats.finalize(dist),
+        num_edges=graph.num_edges,
+        extra={"batches": batches, "delta": delta, "cpu": cpu.name},
+    )

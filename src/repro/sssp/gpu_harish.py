@@ -1,0 +1,100 @@
+"""Harish–Narayanan (HiPC 2007): the original topology-driven GPU SSSP.
+
+The first GPU SSSP the paper's related work cites: "Initially, Harish and
+Narayanan implement the SSSP algorithm on GPU using the CUDA model.  It
+takes advantage of the parallel resources of GPU.  Based on synchronous
+push mode, the work efficiency and memory efficiency of this work are
+poor" (§1).
+
+The design is *topology-driven*: there is no frontier queue at all — every
+iteration launches a thread for **every vertex**, each checks a per-vertex
+mask, relaxes its out-edges if marked, and marks its updated neighbours;
+iterate until no mask is set.  Memory-inefficient (the whole mask and
+distance array are re-read every iteration) and divergence-heavy (most
+threads find their mask unset and idle), which is exactly why the
+frontier-based BL baseline superseded it.  Included as the historical
+datum for the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import GPUDevice, subset_assignment
+from ..gpusim.kernels import thread_per_item, thread_per_vertex_edges
+from ..gpusim.spec import GPUSpec, V100
+from ..metrics.workstats import WorkStats
+from .relax import DeviceGraph, relax_batch
+from .result import SSSPResult
+
+__all__ = ["harish_narayanan_sssp"]
+
+
+def harish_narayanan_sssp(
+    graph: CSRGraph,
+    source: int,
+    *,
+    spec: GPUSpec = V100,
+    max_iterations: int | None = None,
+) -> SSSPResult:
+    """Run the topology-driven 2007 baseline on a simulated GPU."""
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+
+    device = GPUDevice(spec)
+    dgraph = DeviceGraph(device, graph)
+    dist = device.full(n, np.inf, name="dist")
+    dist.data[source] = 0.0
+    mask = device.zeros(n, dtype=np.int8, name="mask")
+    mask.data[source] = 1
+    stats = WorkStats()
+    stats.record(np.array([source]), np.array([0.0]), np.array([True]))
+
+    all_vertices = np.arange(n, dtype=np.int64)
+    iterations = 0
+    while True:
+        iterations += 1
+        if max_iterations is not None and iterations > max_iterations:
+            break
+        active = np.flatnonzero(mask.data)
+        if active.size == 0:
+            break
+        with device.launch("hn_relax") as k:
+            # every vertex gets a thread and reads its mask (the
+            # topology-driven overhead: n loads per iteration)
+            a_all = thread_per_item(n)
+            flags = k.gather(mask, all_vertices, a_all)
+            k.branch(a_all, flags != 0)
+            # marked vertices clear their mask and relax all out-edges
+            sub = subset_assignment(a_all, flags != 0)
+            k.scatter(mask, active, np.zeros(active.size, dtype=np.int8), sub)
+            batch = dgraph.batch(active, "all")
+            a = thread_per_vertex_edges(batch.counts)
+            targets, updated = relax_batch(
+                k, dgraph, dist, active, batch, a, stats
+            )
+            if targets.size and updated.any():
+                upd = np.unique(targets[updated])
+                sub_u = subset_assignment(a, updated)
+                k.scatter(
+                    mask,
+                    targets[updated],
+                    np.ones(int(updated.sum()), dtype=np.int8),
+                    sub_u,
+                )
+                mask.data[upd] = 1
+        device.barrier()
+
+    return SSSPResult(
+        dist=dist.data.copy(),
+        source=source,
+        method="harish-narayanan",
+        graph_name=graph.name,
+        time_ms=device.elapsed_ms,
+        work=stats.finalize(dist.data),
+        counters=device.counters,
+        num_edges=graph.num_edges,
+        extra={"timeline": device.timeline, "iterations": iterations},
+    )

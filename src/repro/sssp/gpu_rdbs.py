@@ -1,0 +1,501 @@
+"""RDBS: the paper's bucket-aware asynchronous Δ-stepping engine (§4).
+
+One engine implements all four arms of the paper's Fig. 8 through three
+independent toggles:
+
+* ``pro``   — property-driven reordering preprocessing (§4.1): run on a
+  degree-relabeled, weight-sorted CSR with heavy-edge offsets, so light
+  edges are a contiguous prefix located without branching;
+* ``adwl``  — adaptive load balancing (§4.2): phase 1 classifies active
+  vertices into small/middle/large workload lists and dynamic parallelism
+  right-sizes child kernels (32/256 threads) per vertex; phases 2&3 use a
+  fused, statically balanced edge-parallel kernel;
+* ``basyn`` — bucket-aware asynchronous execution (§4.3): phase 1 runs as
+  one persistent kernel draining workload lists in micro-rounds without
+  barriers, updates are immediately visible, and the bucket width Δ_i is
+  re-adjusted per bucket from converged-vertex and thread-utilization
+  feedback (Eqs. 1–2).
+
+With all three off the engine degenerates to the classic synchronous
+GPU Δ-stepping of §2.2 (which doubles as the ablation baseline).  The
+default configuration (all on) is the paper's RDBS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..gpusim.compaction import compact
+from ..gpusim.device import GPUDevice, KernelContext
+from ..gpusim.dynamic import launch_adaptive
+from ..gpusim.kernels import (
+    grid_stride,
+    thread_per_item,
+    thread_per_vertex_edges,
+)
+from ..gpusim.spec import GPUSpec, V100
+from ..metrics.recorder import TraceRecorder
+from ..metrics.workstats import WorkStats
+from ..reorder.pipeline import apply_pro
+from .buckets import DeltaController
+from .relax import DeviceGraph, relax_batch
+from .result import SSSPResult
+
+__all__ = ["rdbs_sssp", "default_delta"]
+
+#: active vertices processed per asynchronous micro-round; newly activated
+#: vertices become visible to the following micro-round, which is how the
+#: engine models immediate update visibility without barriers
+ASYNC_CHUNK = 2048
+
+#: thread count of the fused phase-2&3 kernel (static load balancing)
+PHASE23_THREADS = 32 * 256
+
+
+def default_delta(graph: CSRGraph) -> float:
+    """The empirical Δ heuristic: mean weight over average degree, ×2.
+
+    Matches the classic Meyer–Sanders guidance Δ = Θ(1 / d̄) scaled by the
+    weight range; for Graph500 unit weights at edgefactor 16 it lands near
+    the paper's empirical Δ = 0.1.
+    """
+    if graph.num_edges == 0:
+        return 1.0
+    mean_w = float(graph.weights.mean())
+    avg_deg = max(graph.average_degree, 1.0)
+    return max(2.0 * mean_w / avg_deg, 1e-12)
+
+
+@dataclass
+class _BucketOutcome:
+    """Phase-1 bookkeeping for one bucket."""
+
+    settled: np.ndarray
+    threads_used: int
+    rounds: int
+
+
+def rdbs_sssp(
+    graph: CSRGraph,
+    source: int,
+    *,
+    delta: float | None = None,
+    pro: bool = True,
+    adwl: bool = True,
+    basyn: bool = True,
+    spec: GPUSpec = V100,
+    record_trace: bool = False,
+    max_buckets: int = 1_000_000,
+    async_chunk: int = ASYNC_CHUNK,
+) -> SSSPResult:
+    """Run the RDBS engine (or any ablation arm) on a simulated GPU.
+
+    Returns distances in the *original* vertex id space even when ``pro``
+    relabels internally.  ``async_chunk`` sets how many active vertices
+    each asynchronous micro-round drains (smaller = fresher distances /
+    fewer redundant updates, larger = fewer scheduling rounds).
+    """
+    if async_chunk < 1:
+        raise ValueError("async_chunk must be >= 1")
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range for {n} vertices")
+    if delta is None:
+        delta = default_delta(graph)
+    if delta <= 0:
+        raise ValueError("delta must be positive")
+
+    # ------------------------------------------------------------------
+    # preprocessing (not timed, matching the paper's methodology)
+    # ------------------------------------------------------------------
+    work_graph = apply_pro(graph, delta) if pro else graph
+    src = int(work_graph.old_to_new[source]) if pro else source
+
+    device = GPUDevice(spec)
+    dgraph = DeviceGraph(device, work_graph)
+    # execution strategy follows the graph's actual capabilities: a caller
+    # may hand in a graph that already carries heavy offsets (pre-applied
+    # PRO) with pro=False — it still gets branch-free light/heavy ranges
+    use_offsets = dgraph.heavy is not None
+    dist = device.full(n, np.inf, name="dist")
+    dist.data[src] = 0.0
+    in_queue = np.zeros(n, dtype=bool)  # host mirror of the queue flags
+    # device buffer receiving the compacted next-bucket candidates; sized
+    # to the edge count because duplicate updates (several heavy edges
+    # improving one vertex in one pass) each append an entry
+    candidate_buf = device.alloc(
+        np.zeros(max(work_graph.num_edges, 1), dtype=np.int64), "candidates"
+    )
+    stats = WorkStats()
+    stats.record(np.array([src]), np.array([0.0]), np.array([True]))
+    trace = TraceRecorder() if record_trace else None
+    bucket_phase1: list[WorkStats] = []
+
+    controller = DeltaController(delta) if basyn else None
+    lo = 0.0
+    buckets_processed = 0
+    total_rounds = 0
+
+    while True:
+        unsettled = np.isfinite(dist.data) & (dist.data >= lo)
+        if not unsettled.any():
+            break
+        min_unsettled = float(dist.data[unsettled].min())
+
+        # next bucket interval: dynamic (Eq. 1–2) or fixed width
+        if controller is not None:
+            interval = controller.next_interval()
+            b_lo, b_hi = interval.lo, interval.hi
+            bucket_id = interval.index
+            if b_hi <= min_unsettled:
+                # empty bucket: report zero feedback and move on cheaply
+                controller.feedback(0, 0)
+                lo = b_hi
+                continue
+        else:
+            bucket_id = int(np.floor(min_unsettled / delta))
+            b_lo = bucket_id * delta
+            b_hi = b_lo + delta
+        lo = max(lo, b_lo)
+
+        members = np.flatnonzero((dist.data >= b_lo) & (dist.data < b_hi))
+        if members.size == 0:
+            lo = b_hi
+            if controller is not None:
+                controller.feedback(0, 0)
+            continue
+
+        buckets_processed += 1
+        if buckets_processed > max_buckets:
+            raise RuntimeError("bucket limit exceeded; check delta/weights")
+        if trace is not None:
+            trace.begin_bucket(bucket_id, int(members.size), b_lo, b_hi)
+        p1_stats = WorkStats()
+        t_start = device.time_s
+
+        # ------------------------------------------------------------------
+        # phase 1: light edges
+        # ------------------------------------------------------------------
+        # the light/heavy split must cover the (possibly widened) bucket:
+        # a heavy edge then always lands beyond b_hi, so phase 2 can never
+        # strand a target inside the closing bucket.  PRO graphs re-split
+        # their offsets on device (§4.1's adaptive offsets); unsorted arms
+        # just raise the branch threshold.
+        b_width = b_hi - b_lo
+        if use_offsets and b_width > dgraph.split_delta * (1 + 1e-12):
+            dgraph.resplit(b_width)
+        split = max(b_width, dgraph.split_delta) if use_offsets else b_width
+
+        if basyn:
+            outcome = _phase1_async(
+                device, dgraph, dist, members, b_lo, b_hi, split,
+                pro=use_offsets, adwl=adwl, stats=stats, p1_stats=p1_stats,
+                in_queue=in_queue, trace=trace, chunk_size=async_chunk,
+            )
+        else:
+            outcome = _phase1_sync(
+                device, dgraph, dist, members, b_lo, b_hi, split,
+                pro=use_offsets, adwl=adwl, stats=stats, p1_stats=p1_stats,
+                trace=trace,
+            )
+        total_rounds += outcome.rounds
+
+        # ------------------------------------------------------------------
+        # phases 2 & 3: heavy edges + next-bucket scan (one fused kernel)
+        # ------------------------------------------------------------------
+        _phase23_fused(
+            device, dgraph, dist, outcome.settled, split,
+            pro=use_offsets, stats=stats, candidate_buf=candidate_buf,
+        )
+        device.barrier()  # synchronous mode between buckets
+
+        if controller is not None:
+            controller.feedback(int(outcome.settled.size), outcome.threads_used)
+        bucket_phase1.append(p1_stats)
+        if trace is not None:
+            trace.end_bucket(device.time_s - t_start)
+        lo = b_hi
+
+    tally = stats.finalize(dist.data)
+    if trace is not None:
+        for bucket, p1 in zip(trace.buckets, bucket_phase1):
+            t = p1.finalize(dist.data)
+            bucket.phase1_total_updates = t.total_updates
+            bucket.phase1_valid_updates = t.valid_updates
+
+    dist_out = work_graph.to_original_order(dist.data.copy()) if pro else dist.data.copy()
+    method = "rdbs" if (pro and adwl and basyn) else _arm_name(pro, adwl, basyn)
+    return SSSPResult(
+        dist=dist_out,
+        source=source,
+        method=method,
+        graph_name=graph.name,
+        time_ms=device.elapsed_ms,
+        work=tally,
+        counters=device.counters,
+        trace=trace,
+        num_edges=graph.num_edges,
+        extra={
+            "timeline": device.timeline,
+            "buckets": buckets_processed,
+            "rounds": total_rounds,
+            "delta0": delta,
+            "final_delta": controller.widths[-1] if controller and controller.widths else delta,
+            "pro": pro,
+            "adwl": adwl,
+            "basyn": basyn,
+        },
+    )
+
+
+def _arm_name(pro: bool, adwl: bool, basyn: bool) -> str:
+    parts = []
+    if basyn:
+        parts.append("basyn")
+    if pro:
+        parts.append("pro")
+    if adwl:
+        parts.append("adwl")
+    return "+".join(parts) if parts else "sync-delta"
+
+
+# ----------------------------------------------------------------------
+# phase 1 engines
+# ----------------------------------------------------------------------
+
+def _relax_light(
+    ctx: KernelContext,
+    dgraph: DeviceGraph,
+    dist,
+    vertices: np.ndarray,
+    split: float,
+    *,
+    pro: bool,
+    adwl: bool,
+    stats: WorkStats,
+    p1_stats: WorkStats,
+) -> tuple[np.ndarray, int]:
+    """Relax the light edges of ``vertices``; returns (updated targets, threads)."""
+    threads = 0
+    all_targets: list[np.ndarray] = []
+
+    if pro:
+        counts = dgraph.light_counts(vertices)
+        kind = "light"
+        weight_filter = None
+    else:
+        counts = (
+            dgraph.graph.row[vertices + 1] - dgraph.graph.row[vertices]
+        ).astype(np.int64)
+        kind = "all"
+        weight_filter = (split, True)
+
+    if adwl:
+        # manager threads classify vertices into workload lists; charged as
+        # one pass of per-vertex ALU work
+        a_cls = thread_per_item(vertices.size)
+        ctx.alu(a_cls, ops=2)
+        groups = launch_adaptive(ctx, counts)
+    else:
+        groups = [(np.arange(vertices.size), thread_per_vertex_edges(counts))]
+
+    for positions, assignment in groups:
+        vs = vertices[positions]
+        batch = dgraph.batch(vs, kind)
+        targets, updated = relax_batch(
+            ctx, dgraph, dist, vs, batch, assignment, (stats, p1_stats),
+            weight_filter=weight_filter,
+        )
+        if targets.size:
+            all_targets.append(targets[updated])
+        threads += assignment.num_threads
+
+    if all_targets:
+        return np.concatenate(all_targets), threads
+    return np.zeros(0, dtype=np.int64), threads
+
+
+def _phase1_async(
+    device: GPUDevice,
+    dgraph: DeviceGraph,
+    dist,
+    members: np.ndarray,
+    b_lo: float,
+    b_hi: float,
+    split: float,
+    *,
+    pro: bool,
+    adwl: bool,
+    stats: WorkStats,
+    p1_stats: WorkStats,
+    in_queue: np.ndarray,
+    trace: TraceRecorder | None,
+    chunk_size: int = ASYNC_CHUNK,
+) -> _BucketOutcome:
+    """BASYN phase 1: one persistent kernel draining the workload lists.
+
+    Micro-rounds pop up to :data:`ASYNC_CHUNK` vertices; updates written by
+    a round are visible to every later round (and, through the atomic
+    serialization, partially within the round), with only the cheap
+    async-round scheduling cost in between — no barriers, no relaunches.
+    """
+    settled_mask = np.zeros(dist.size, dtype=bool)
+    threads_used = 0
+    rounds = 0
+    queue: list[np.ndarray] = [members]
+    in_queue[members] = True
+    # the device-resident workload lists; re-activations are stored into it
+    # by the manager threads (global store traffic)
+    queue_buf = device.alloc(
+        np.zeros(dist.size, dtype=np.int64), "workload_lists"
+    )
+
+    with device.launch("phase1_async") as k:
+        while queue:
+            chunk_parts: list[np.ndarray] = []
+            need = chunk_size
+            while queue and need > 0:
+                head = queue[0]
+                if head.size <= need:
+                    chunk_parts.append(head)
+                    need -= head.size
+                    queue.pop(0)
+                else:
+                    chunk_parts.append(head[:need])
+                    queue[0] = head[need:]
+                    need = 0
+            chunk = np.concatenate(chunk_parts)
+            in_queue[chunk] = False
+            settled_mask[chunk] = True
+            rounds += 1
+            if trace is not None:
+                trace.iteration(int(chunk.size))
+
+            targets, threads = _relax_light(
+                k, dgraph, dist, chunk, split,
+                pro=pro, adwl=adwl, stats=stats, p1_stats=p1_stats,
+            )
+            threads_used += threads
+            k.async_round()
+
+            if targets.size:
+                cand = np.unique(targets)
+                cand = cand[
+                    (dist.data[cand] >= b_lo)
+                    & (dist.data[cand] < b_hi)
+                    & ~in_queue[cand]
+                ]
+                if cand.size:
+                    # manager threads push re-activated vertices back onto
+                    # the workload lists: classify + one queue store each
+                    a_push = thread_per_item(cand.size)
+                    k.alu(a_push, ops=2)
+                    k.scatter(queue_buf, cand, cand, a_push)
+                    in_queue[cand] = True
+                    queue.append(cand)
+
+    return _BucketOutcome(
+        settled=np.flatnonzero(settled_mask),
+        threads_used=threads_used,
+        rounds=rounds,
+    )
+
+
+def _phase1_sync(
+    device: GPUDevice,
+    dgraph: DeviceGraph,
+    dist,
+    members: np.ndarray,
+    b_lo: float,
+    b_hi: float,
+    split: float,
+    *,
+    pro: bool,
+    adwl: bool,
+    stats: WorkStats,
+    p1_stats: WorkStats,
+    trace: TraceRecorder | None,
+) -> _BucketOutcome:
+    """Synchronous phase 1: kernel launch + barrier per iteration (§2.2)."""
+    settled_mask = np.zeros(dist.size, dtype=bool)
+    threads_used = 0
+    rounds = 0
+    frontier = members
+    while frontier.size:
+        rounds += 1
+        settled_mask[frontier] = True
+        if trace is not None:
+            trace.iteration(int(frontier.size))
+        with device.launch("phase1_sync") as k:
+            targets, threads = _relax_light(
+                k, dgraph, dist, frontier, split,
+                pro=pro, adwl=adwl, stats=stats, p1_stats=p1_stats,
+            )
+        device.barrier()
+        threads_used += threads
+        if targets.size:
+            cand = np.unique(targets)
+            frontier = cand[(dist.data[cand] >= b_lo) & (dist.data[cand] < b_hi)]
+        else:
+            frontier = np.zeros(0, dtype=np.int64)
+    return _BucketOutcome(
+        settled=np.flatnonzero(settled_mask),
+        threads_used=threads_used,
+        rounds=rounds,
+    )
+
+
+# ----------------------------------------------------------------------
+# fused phases 2 & 3
+# ----------------------------------------------------------------------
+
+def _phase23_fused(
+    device: GPUDevice,
+    dgraph: DeviceGraph,
+    dist,
+    settled: np.ndarray,
+    split: float,
+    *,
+    pro: bool,
+    stats: WorkStats,
+    candidate_buf=None,
+) -> None:
+    """Relax heavy edges of the settled set, then scan for the next bucket.
+
+    One fused kernel (kernel-fusion optimization of §4.2): the heavy-edge
+    relaxation uses the statically balanced edge-parallel mapping, and the
+    next-bucket scan reads every vertex's distance once.  The scan's result
+    is consumed host-side by the bucket loop (the real implementation
+    compacts into a device queue; the stores are accounted here).
+    """
+    n = dist.size
+    with device.launch("phase23_fused") as k:
+        if settled.size:
+            if pro:
+                batch = dgraph.batch(settled, "heavy")
+                weight_filter = None
+            else:
+                batch = dgraph.batch(settled, "all")
+                weight_filter = (split, False)
+            if batch.num_edges:
+                a = grid_stride(batch.num_edges, PHASE23_THREADS)
+                targets, updated = relax_batch(
+                    k, dgraph, dist, settled, batch, a, stats,
+                    weight_filter=weight_filter,
+                )
+                # compact the freshly updated heavy targets into the
+                # next-bucket candidate queue (scan + coalesced scatter)
+                if (
+                    weight_filter is None
+                    and candidate_buf is not None
+                    and targets.size
+                ):
+                    compact(k, candidate_buf, updated, targets, a)
+        # phase 3: one dist read per vertex to build the next bucket
+        a_scan = grid_stride(n, PHASE23_THREADS)
+        k.gather(dist, np.arange(n, dtype=np.int64), a_scan)
+        k.alu(a_scan, ops=2)
+        k.device_barrier()  # fused phases separated by a device-wide sync

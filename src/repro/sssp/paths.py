@@ -1,0 +1,171 @@
+"""Shortest-path tree reconstruction and path queries.
+
+The paper's algorithms (like most GPU SSSP kernels) return only the
+distance array — carrying a parent pointer through every atomic would
+double the atomic traffic.  The standard trick, implemented here, is to
+reconstruct the shortest-path *tree* afterwards from the converged
+distances: an edge ``(u, v, w)`` is a tree edge iff ``dist[u] + w ==
+dist[v]``, so each vertex's parent is found with one vectorized pass over
+the edges and no extra work during the search.
+
+Provided:
+
+* :func:`build_parents` — parent array from a distance array;
+* :func:`extract_path` — the actual vertex sequence source→target;
+* :func:`validate_path` — checks a path is real edges with the right total;
+* :class:`ShortestPathTree` — the user-facing bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+
+__all__ = [
+    "build_parents",
+    "extract_path",
+    "validate_path",
+    "ShortestPathTree",
+    "shortest_path_tree",
+]
+
+
+def build_parents(
+    graph: CSRGraph, dist: np.ndarray, source: int, *, atol: float = 1e-9
+) -> np.ndarray:
+    """Parent of every vertex in *some* shortest-path tree.
+
+    For each reached vertex ``v`` (except the source) picks the
+    lowest-numbered ``u`` with ``dist[u] + w(u, v) == dist[v]``.  Vertices
+    that are unreachable (or the source itself) get parent ``-1``.
+
+    Raises ``ValueError`` if ``dist`` is not a fixed point of relaxation
+    (i.e. wasn't produced by a converged SSSP on this graph).
+    """
+    n = graph.num_vertices
+    dist = np.asarray(dist, dtype=np.float64)
+    if dist.shape != (n,):
+        raise ValueError("dist must have one entry per vertex")
+    src_of_edge = graph.edge_sources()
+    v = graph.adj
+    slack = dist[src_of_edge] + graph.weights - dist[v]
+    finite = np.isfinite(dist[src_of_edge])
+    if np.any(finite & (slack < -atol)):
+        raise ValueError(
+            "distance array is not relaxed: some edge can still shorten it"
+        )
+    tight = finite & (np.abs(slack) <= atol)
+    parents = np.full(n, -1, dtype=np.int64)
+    # lowest-numbered tight predecessor per vertex: reversed fancy-index
+    # assignment keeps the first occurrence
+    order = np.flatnonzero(tight)[::-1]
+    parents[v[order]] = src_of_edge[order]
+    parents[source] = -1
+    # a reached non-source vertex must have found a parent
+    reached = np.isfinite(dist)
+    bad = reached & (parents == -1)
+    bad[source] = False
+    if bad.any():
+        raise ValueError(
+            f"{int(bad.sum())} reached vertices have no tight incoming edge; "
+            "dist does not belong to this graph"
+        )
+    return parents
+
+
+def extract_path(
+    parents: np.ndarray, source: int, target: int
+) -> list[int]:
+    """Vertex sequence from ``source`` to ``target`` along parent links.
+
+    Returns ``[]`` when the target is unreachable.
+    """
+    if target == source:
+        return [source]
+    if parents[target] == -1:
+        return []
+    path = [int(target)]
+    seen = set(path)
+    v = int(target)
+    while v != source:
+        v = int(parents[v])
+        if v == -1 or v in seen:
+            raise ValueError("parent links do not lead back to the source")
+        path.append(v)
+        seen.add(v)
+    path.reverse()
+    return path
+
+
+def validate_path(
+    graph: CSRGraph, path: list[int], expected_length: float, *, atol=1e-6
+) -> None:
+    """Assert ``path`` uses real edges and sums to ``expected_length``."""
+    if not path:
+        raise AssertionError("empty path")
+    total = 0.0
+    for u, v in zip(path, path[1:]):
+        nbrs = graph.neighbors(u)
+        ws = graph.edge_weights(u)
+        hits = np.flatnonzero(nbrs == v)
+        if hits.size == 0:
+            raise AssertionError(f"no edge {u} -> {v} in the graph")
+        total += float(ws[hits].min())
+    if abs(total - expected_length) > atol:
+        raise AssertionError(
+            f"path length {total} != expected {expected_length}"
+        )
+
+
+@dataclass(frozen=True)
+class ShortestPathTree:
+    """Distances plus parent links; answers path queries."""
+
+    graph: CSRGraph
+    source: int
+    dist: np.ndarray
+    parents: np.ndarray
+
+    def path_to(self, target: int) -> list[int]:
+        """Vertex sequence source→target (``[]`` if unreachable)."""
+        return extract_path(self.parents, self.source, target)
+
+    def distance_to(self, target: int) -> float:
+        """Shortest distance to ``target`` (``inf`` if unreachable)."""
+        return float(self.dist[target])
+
+    @property
+    def reached(self) -> int:
+        """Number of reachable vertices."""
+        return int(np.isfinite(self.dist).sum())
+
+    def depth_histogram(self) -> np.ndarray:
+        """``hist[k]`` = vertices whose tree path has ``k`` edges."""
+        n = self.graph.num_vertices
+        depth = np.full(n, -1, dtype=np.int64)
+        depth[self.source] = 0
+        # iterate: vertices whose parent's depth is known
+        pending = np.flatnonzero((self.parents >= 0) & (depth == -1))
+        while pending.size:
+            ready = pending[depth[self.parents[pending]] >= 0]
+            if ready.size == 0:
+                break
+            depth[ready] = depth[self.parents[ready]] + 1
+            pending = np.flatnonzero((self.parents >= 0) & (depth == -1))
+        return np.bincount(depth[depth >= 0])
+
+
+def shortest_path_tree(
+    graph: CSRGraph, source: int, *, method: str = "rdbs", **kwargs
+) -> ShortestPathTree:
+    """Solve SSSP with ``method`` and return a queryable path tree."""
+    from .api import sssp
+
+    result = sssp(graph, source, method=method, **kwargs)
+    parents = build_parents(graph, result.dist, source)
+    return ShortestPathTree(
+        graph=graph, source=source, dist=result.dist, parents=parents
+    )

@@ -1,0 +1,250 @@
+"""Shared GPU kernel building blocks for all SSSP variants.
+
+Every GPU algorithm in this library is built from the same three moves:
+
+* :class:`DeviceGraph` — the CSR arrays resident in simulated device
+  memory, plus vectorized edge-batch index construction (the address
+  arithmetic a CUDA kernel performs with ``row[u] + j``);
+* :func:`relax_batch` — the relaxation inner loop of Algorithm 1: gather
+  ``dist[u]`` once per active vertex, gather the edge targets and weights,
+  compute tentative distances and resolve them with ``atomicMin``; and
+* :class:`FrontierFlags` — duplicate suppression for the next frontier via
+  a device flag array (gather, branch, scatter), the standard GPU worklist
+  idiom.
+
+Keeping these in one module guarantees that the baseline, ADDS and RDBS are
+compared on identical memory-access accounting — differences between them
+come only from *which* edges they touch, *when*, and under *which* thread
+mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..gpusim.device import GPUDevice, KernelContext, subset_assignment
+from ..gpusim.kernels import (
+    WorkAssignment,
+    thread_per_item,
+)
+from ..gpusim.memory import DeviceArray
+from ..metrics.workstats import WorkStats
+from ..util.scan import segmented_arange
+
+__all__ = ["DeviceGraph", "EdgeBatch", "relax_batch", "FrontierFlags"]
+
+
+@dataclass(frozen=True)
+class EdgeBatch:
+    """A flat batch of edges to relax: one entry per edge."""
+
+    #: flat indices into adj/weights
+    edge_idx: np.ndarray
+    #: per-edge position into the originating vertex list
+    src_pos: np.ndarray
+    #: per-vertex edge count (aligned with the vertex list)
+    counts: np.ndarray
+
+    @property
+    def num_edges(self) -> int:
+        """Edges in the batch."""
+        return int(self.edge_idx.size)
+
+
+class DeviceGraph:
+    """A CSR graph uploaded to one simulated device.
+
+    The heavy-edge offset column is held *mutable* (unlike the immutable
+    host graph) because the bucket-aware engine re-splits light/heavy when
+    its dynamic Δ outgrows the preprocessing Δ — "the offset of heavy edges
+    can be changed immediately in phase 1 … it can adapt itself to the
+    change of Δ value" (§4.1).
+    """
+
+    def __init__(self, device: GPUDevice, graph: CSRGraph) -> None:
+        self.device = device
+        self.graph = graph
+        self.row = device.upload(graph.row, "row")
+        self.adj = device.upload(graph.adj, "adj")
+        self.weights = device.upload(graph.weights, "weights")
+        if graph.heavy_offsets is not None:
+            self.heavy = device.alloc(graph.heavy_offsets, "heavy_offsets")
+            self.split_delta = float(graph.delta)
+        else:
+            self.heavy = None
+            self.split_delta = None
+
+    def resplit(self, new_delta: float) -> None:
+        """Recompute heavy offsets for ``new_delta`` (one device pass).
+
+        Each vertex binary-searches its weight-sorted segment for the new
+        split point and stores the offset — charged as an ALU + store pass
+        over all vertices in a small kernel.
+        """
+        if self.heavy is None:
+            raise ValueError("graph has no heavy offsets to re-split")
+        from ..reorder.heavy_offsets import compute_heavy_offsets
+        from ..gpusim.kernels import grid_stride
+
+        n = self.graph.num_vertices
+        offsets = compute_heavy_offsets(self.graph, new_delta)
+        with self.device.launch("resplit_offsets") as k:
+            a = grid_stride(n, 32 * 256)
+            k.gather(self.row, np.arange(n, dtype=np.int64), a)
+            k.alu(a, ops=6)  # per-vertex binary search over its segment
+            k.scatter(self.heavy, np.arange(n, dtype=np.int64), offsets, a)
+        self.split_delta = float(new_delta)
+
+    # ------------------------------------------------------------------
+    # edge-range selection (index arithmetic; charged as ALU by callers)
+    # ------------------------------------------------------------------
+    def batch(self, vertices: np.ndarray, kind: str = "all") -> EdgeBatch:
+        """Build the edge batch for ``vertices``.
+
+        ``kind`` selects ``"all"`` edges, or — when the graph carries
+        heavy offsets (PRO) — the contiguous ``"light"`` prefix or
+        ``"heavy"`` suffix of each adjacency segment.
+        """
+        g = self.graph
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if kind == "all":
+            start = g.row[vertices]
+            stop = g.row[vertices + 1]
+        elif kind == "light":
+            if self.heavy is None:
+                raise ValueError("light batch requires heavy offsets (PRO)")
+            start = g.row[vertices]
+            stop = self.heavy.data[vertices]
+        elif kind == "heavy":
+            if self.heavy is None:
+                raise ValueError("heavy batch requires heavy offsets (PRO)")
+            start = self.heavy.data[vertices]
+            stop = g.row[vertices + 1]
+        else:
+            raise ValueError(f"unknown edge kind: {kind!r}")
+        counts = (stop - start).astype(np.int64)
+        edge_idx = np.repeat(start, counts) + segmented_arange(counts)
+        src_pos = np.repeat(np.arange(vertices.size, dtype=np.int64), counts)
+        return EdgeBatch(edge_idx=edge_idx, src_pos=src_pos, counts=counts)
+
+    def light_counts(self, vertices: np.ndarray) -> np.ndarray:
+        """Light-edge count per vertex (requires PRO heavy offsets)."""
+        if self.heavy is None:
+            raise ValueError("light counts require heavy offsets (PRO)")
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return (self.heavy.data[vertices] - self.graph.row[vertices]).astype(
+            np.int64
+        )
+
+
+def relax_batch(
+    ctx: KernelContext,
+    dgraph: DeviceGraph,
+    dist: DeviceArray,
+    vertices: np.ndarray,
+    batch: EdgeBatch,
+    assignment: WorkAssignment,
+    stats: WorkStats | tuple[WorkStats, ...] | None,
+    *,
+    weight_filter: tuple[float, bool] | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Relax one edge batch under ``assignment``; returns ``(targets, updated)``.
+
+    Implements Algorithm 1 with full accounting: per-vertex ``dist[u]``
+    load, per-edge target/weight loads, the tentative-distance compute, and
+    the ``atomicMin`` resolution (plus its check/update classification into
+    ``stats``).
+
+    ``weight_filter=(delta, want_light)`` emulates the *unsorted* CSR case
+    (no PRO): the kernel touches every edge of the batch, executes a
+    divergent branch on ``w < delta`` and only issues atomics for the
+    selected class — the extra instructions PRO eliminates.
+    """
+    if batch.num_edges == 0:
+        # the per-vertex dist load still happens for non-empty vertex lists
+        if vertices.size:
+            a_v = thread_per_item(vertices.size)
+            ctx.gather(dist, vertices, a_v)
+        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+
+    # load dist[u] once per active vertex (register-resident thereafter)
+    a_v = thread_per_item(vertices.size)
+    du = ctx.gather(dist, vertices, a_v)
+
+    v = ctx.gather(dgraph.adj, batch.edge_idx, assignment)
+    wt = ctx.gather(dgraph.weights, batch.edge_idx, assignment)
+    nd = du[batch.src_pos] + wt
+    # address computation + add + compare per edge step
+    ctx.alu(assignment, ops=3)
+
+    if weight_filter is not None:
+        delta, want_light = weight_filter
+        taken = (wt < delta) if want_light else (wt >= delta)
+        ctx.branch(assignment, taken)
+        sub = subset_assignment(assignment, taken)
+        v_sel, nd_sel = v[taken], nd[taken]
+        _old, updated = ctx.atomic_min(dist, v_sel, nd_sel, sub)
+        _record(stats, v_sel, nd_sel, updated)
+        return v_sel, updated
+
+    _old, updated = ctx.atomic_min(dist, v, nd, assignment)
+    _record(stats, v, nd, updated)
+    return v, updated
+
+
+def _record(stats, vertices: np.ndarray, values: np.ndarray, updated: np.ndarray) -> None:
+    """Record a relaxation batch into one or several WorkStats recorders."""
+    if stats is None:
+        return
+    if isinstance(stats, WorkStats):
+        stats.record(vertices, values, updated)
+    else:
+        for s in stats:
+            s.record(vertices, values, updated)
+
+
+class FrontierFlags:
+    """Device flag array for duplicate-free frontier construction."""
+
+    def __init__(self, device: GPUDevice, num_vertices: int) -> None:
+        self.device = device
+        self.flags = device.zeros(num_vertices, dtype=np.int8, name="frontier_flags")
+
+    def push(
+        self,
+        ctx: KernelContext,
+        targets: np.ndarray,
+        assignment: WorkAssignment,
+    ) -> np.ndarray:
+        """Mark ``targets`` and return the newly marked (deduplicated) ones.
+
+        Models the gather-test-set idiom: load the flag, branch on it,
+        store for the fresh ones.  The returned array is sorted and unique.
+        """
+        if targets.size == 0:
+            return np.zeros(0, dtype=np.int64)
+        current = ctx.gather(self.flags, targets, assignment)
+        fresh_mask = current == 0
+        ctx.branch(assignment, fresh_mask)
+        fresh = np.unique(targets[fresh_mask])
+        if fresh.size:
+            sub = subset_assignment(assignment, fresh_mask)
+            ctx.scatter(
+                self.flags,
+                targets[fresh_mask],
+                np.ones(int(fresh_mask.sum()), dtype=np.int8),
+                sub,
+            )
+        return fresh
+
+    def clear(self, ctx: KernelContext, vertices: np.ndarray) -> None:
+        """Reset flags for ``vertices`` (store per entry)."""
+        if vertices.size == 0:
+            return
+        a = thread_per_item(vertices.size)
+        ctx.scatter(
+            self.flags, vertices, np.zeros(vertices.size, dtype=np.int8), a
+        )

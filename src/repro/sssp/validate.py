@@ -1,0 +1,61 @@
+"""Distance validation against an independent oracle.
+
+Every benchmark run validates its distances against SciPy's C
+implementation of Dijkstra (an implementation this library shares no code
+with), so a performance win can never come from a wrong answer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["scipy_distances", "validate_distances", "DistanceMismatch"]
+
+
+class DistanceMismatch(AssertionError):
+    """Raised when computed distances disagree with the oracle."""
+
+
+def scipy_distances(graph: CSRGraph, source: int) -> np.ndarray:
+    """Ground-truth distances via ``scipy.sparse.csgraph.dijkstra``."""
+    from scipy.sparse import csr_matrix
+    from scipy.sparse.csgraph import dijkstra as _dijkstra
+
+    n = graph.num_vertices
+    mat = csr_matrix((graph.weights, graph.adj, graph.row), shape=(n, n))
+    return _dijkstra(mat, directed=True, indices=source)
+
+
+def validate_distances(
+    graph: CSRGraph,
+    source: int,
+    dist: np.ndarray,
+    *,
+    rtol: float = 1e-9,
+    atol: float = 1e-6,
+) -> None:
+    """Raise :class:`DistanceMismatch` unless ``dist`` matches the oracle.
+
+    ``inf`` entries must match exactly (same reachable set); finite entries
+    must match within floating-point tolerance.
+    """
+    expected = scipy_distances(graph, source)
+    dist = np.asarray(dist)
+    if dist.shape != expected.shape:
+        raise DistanceMismatch(
+            f"distance array has shape {dist.shape}, expected {expected.shape}"
+        )
+    got_inf = ~np.isfinite(dist)
+    exp_inf = ~np.isfinite(expected)
+    if not np.array_equal(got_inf, exp_inf):
+        bad = int(np.count_nonzero(got_inf != exp_inf))
+        raise DistanceMismatch(f"{bad} vertices disagree on reachability")
+    finite = ~exp_inf
+    if not np.allclose(dist[finite], expected[finite], rtol=rtol, atol=atol):
+        diff = np.abs(dist[finite] - expected[finite])
+        raise DistanceMismatch(
+            f"max distance error {diff.max():g} on "
+            f"{int((~np.isclose(dist[finite], expected[finite], rtol=rtol, atol=atol)).sum())} vertices"
+        )

@@ -1,0 +1,13 @@
+"""Shared vectorized primitives."""
+
+from .scan import (
+    segmented_arange,
+    segmented_exclusive_cummin,
+    serialized_min_outcome,
+)
+
+__all__ = [
+    "segmented_arange",
+    "segmented_exclusive_cummin",
+    "serialized_min_outcome",
+]

@@ -1,0 +1,94 @@
+"""Vectorized segmented-array primitives shared across the library.
+
+These are the NumPy equivalents of the warp-scan building blocks GPU code
+uses: segmented iota, segmented prefix-min, and serialized atomic-min
+semantics over duplicate indices.  They appear in the CSR builders, the
+reordering passes, the GPU simulator and the CPU algorithms, so they live
+in one place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "segmented_arange",
+    "segmented_exclusive_cummin",
+    "serialized_min_outcome",
+]
+
+
+def segmented_arange(counts: np.ndarray) -> np.ndarray:
+    """``concatenate([arange(c) for c in counts])`` with no Python loop."""
+    counts = np.asarray(counts, dtype=np.int64)
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    ends = np.cumsum(counts)
+    out = np.arange(total, dtype=np.int64)
+    out -= np.repeat(ends - counts, counts)
+    return out
+
+
+def segmented_exclusive_cummin(
+    values: np.ndarray, seg_start: np.ndarray
+) -> np.ndarray:
+    """Exclusive prefix-min within segments (Hillis–Steele doubling scan).
+
+    ``seg_start[i]`` is True at the first element of each segment.  The
+    first element of every segment receives ``+inf``.  Runs in
+    ``O(n log(max segment length))`` vectorized steps.
+    """
+    n = values.size
+    if n == 0:
+        return values.astype(np.float64, copy=True)
+    idx = np.arange(n, dtype=np.int64)
+    seg_first = np.maximum.accumulate(np.where(seg_start, idx, 0))
+    pos_in_seg = idx - seg_first
+    inclusive = values.astype(np.float64, copy=True)
+    d = 1
+    max_pos = int(pos_in_seg.max())
+    while d <= max_pos:
+        can = np.flatnonzero(pos_in_seg >= d)
+        inclusive[can] = np.minimum(inclusive[can], inclusive[can - d])
+        d <<= 1
+    exclusive = np.full(n, np.inf)
+    inner = pos_in_seg > 0
+    exclusive[inner] = inclusive[np.flatnonzero(inner) - 1]
+    return exclusive
+
+
+def serialized_min_outcome(
+    current: np.ndarray, idx: np.ndarray, values: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Outcome of atomically min-ing ``values`` into ``current[idx]``.
+
+    Models a batch of ``atomicMin`` operations retiring in program order:
+    for each operation, the *old* value it observes is the minimum of the
+    cell's initial value and all earlier operations' values to the same
+    cell.  Returns ``(old, updated)`` aligned with the inputs, and applies
+    the final per-cell minima to ``current`` in place.
+    """
+    n = idx.size
+    if n == 0:
+        return values.astype(np.float64, copy=True), np.zeros(0, dtype=bool)
+    order = np.argsort(idx, kind="stable")
+    sidx = idx[order]
+    svals = np.asarray(values, dtype=np.float64)[order]
+    start = np.ones(n, dtype=bool)
+    start[1:] = sidx[1:] != sidx[:-1]
+    initial = current[sidx]
+    prior = segmented_exclusive_cummin(svals, start)
+    old_sorted = np.minimum(initial, prior)
+    updated_sorted = svals < old_sorted
+
+    gstarts = np.flatnonzero(start)
+    gmins = np.minimum.reduceat(svals, gstarts)
+    targets = sidx[gstarts]
+    current[targets] = np.minimum(current[targets], gmins)
+
+    old = np.empty(n, dtype=np.float64)
+    old[order] = old_sorted
+    updated = np.empty(n, dtype=bool)
+    updated[order] = updated_sorted
+    return old, updated

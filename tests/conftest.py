@@ -1,0 +1,88 @@
+"""Shared fixtures: small deterministic graphs exercised across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    from_edges,
+    grid_road_network,
+    kronecker,
+    paper_fig1_graph,
+    paper_fig4_graph,
+    path,
+    preferential_attachment,
+    star,
+)
+from repro.graphs.properties import largest_component_vertices
+
+
+@pytest.fixture
+def fig1_graph():
+    """The 8-vertex graph of the paper's Fig. 1."""
+    return paper_fig1_graph()
+
+
+@pytest.fixture
+def fig4_graph():
+    """The 5-vertex graph of the paper's Fig. 4."""
+    return paper_fig4_graph()
+
+
+@pytest.fixture
+def triangle():
+    """3-cycle with distinct weights."""
+    return from_edges(
+        np.array([0, 1, 2]),
+        np.array([1, 2, 0]),
+        np.array([1.0, 2.0, 4.0]),
+        symmetrize=True,
+        name="triangle",
+    )
+
+
+@pytest.fixture
+def small_kron():
+    """Kronecker SCALE=8, edgefactor=8 — the standard small power-law input."""
+    return kronecker(8, 8, weights="int", seed=42)
+
+
+@pytest.fixture
+def medium_kron():
+    """Kronecker SCALE=10, edgefactor=8 — the standard medium input."""
+    return kronecker(10, 8, weights="int", seed=43)
+
+
+@pytest.fixture
+def small_road():
+    """16x16 road grid."""
+    return grid_road_network(16, 16, seed=44, name="road16")
+
+
+@pytest.fixture
+def small_pa():
+    """Preferential-attachment graph (mild power law)."""
+    return preferential_attachment(300, 3, seed=45)
+
+
+@pytest.fixture
+def star_graph():
+    """Hub-and-spokes: the worst-case load-imbalance topology."""
+    return star(200)
+
+
+@pytest.fixture
+def path_graph():
+    """64-vertex path: the worst-case diameter topology."""
+    return path(64)
+
+
+def component_source(graph) -> int:
+    """First vertex of the largest component (deterministic)."""
+    return int(largest_component_vertices(graph)[0])
+
+
+@pytest.fixture
+def kron_source(small_kron):
+    return component_source(small_kron)

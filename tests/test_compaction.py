@@ -1,0 +1,91 @@
+"""Tests for the stream-compaction primitive."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPUDevice, V100, compact, thread_per_item
+from repro.gpusim.kernels import grid_stride
+
+
+@pytest.fixture
+def dev():
+    return GPUDevice(V100)
+
+
+class TestCompact:
+    def test_writes_survivors_densely(self, dev):
+        out = dev.zeros(8, dtype=np.int64)
+        values = np.array([10, 11, 12, 13, 14])
+        keep = np.array([True, False, True, False, True])
+        with dev.launch("k") as k:
+            survivors = compact(k, out, keep, values, thread_per_item(5))
+        assert list(survivors) == [10, 12, 14]
+        assert list(out.data[:3]) == [10, 12, 14]
+
+    def test_offset(self, dev):
+        out = dev.zeros(8, dtype=np.int64)
+        with dev.launch("k") as k:
+            compact(
+                k, out, np.array([True, True]), np.array([7, 8]),
+                thread_per_item(2), offset=3,
+            )
+        assert list(out.data[3:5]) == [7, 8]
+
+    def test_charges_scan_branch_and_stores(self, dev):
+        out = dev.zeros(64, dtype=np.int64)
+        values = np.arange(64)
+        keep = values % 2 == 0
+        with dev.launch("k") as k:
+            compact(k, out, keep, values, thread_per_item(64))
+        c = dev.counters.totals
+        assert c.inst_executed_other >= 4  # 2 scan passes x 2 warps
+        assert c.branch_instructions == 2
+        assert c.divergent_branches == 2  # every warp has mixed lanes
+        assert c.inst_executed_global_stores >= 1
+
+    def test_empty_survivors_no_store(self, dev):
+        out = dev.zeros(4, dtype=np.int64)
+        with dev.launch("k") as k:
+            survivors = compact(
+                k, out, np.zeros(4, dtype=bool), np.arange(4), thread_per_item(4)
+            )
+        assert survivors.size == 0
+        assert dev.counters.totals.inst_executed_global_stores == 0
+
+    def test_empty_input(self, dev):
+        out = dev.zeros(4, dtype=np.int64)
+        with dev.launch("k") as k:
+            survivors = compact(
+                k, out, np.zeros(0, dtype=bool),
+                np.zeros(0, dtype=np.int64), thread_per_item(0),
+            )
+        assert survivors.size == 0
+
+    def test_buffer_overflow_rejected(self, dev):
+        out = dev.zeros(2, dtype=np.int64)
+        with dev.launch("k") as k:
+            with pytest.raises(ValueError, match="too small"):
+                compact(
+                    k, out, np.ones(4, dtype=bool), np.arange(4),
+                    thread_per_item(4),
+                )
+
+    def test_predicate_mismatch_rejected(self, dev):
+        out = dev.zeros(4, dtype=np.int64)
+        with dev.launch("k") as k:
+            with pytest.raises(ValueError, match="predicate"):
+                compact(
+                    k, out, np.ones(3, dtype=bool), np.arange(3),
+                    thread_per_item(4),
+                )
+
+    def test_contiguous_writes_coalesce(self, dev):
+        """Dense survivor stores coalesce: far fewer transactions than
+        survivors."""
+        out = dev.zeros(4096, dtype=np.int64)
+        values = np.arange(4096)
+        keep = np.ones(4096, dtype=bool)
+        with dev.launch("k") as k:
+            compact(k, out, keep, values, grid_stride(4096, 1024))
+        c = dev.counters.totals
+        assert c.global_store_transactions <= 4096 // 4 + 64

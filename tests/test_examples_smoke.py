@@ -1,0 +1,42 @@
+"""Smoke tests: the bundled examples run end to end.
+
+Runs the two fastest examples as subprocesses (the full set is exercised
+manually / in CI's long lane); a broken public API surfaces here first.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    return proc.stdout
+
+
+def test_examples_directory_complete():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 5  # quickstart + >= 4 scenario walkthroughs
+
+
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "verified against" in out
+    assert "rdbs" in out
+
+
+def test_paper_walkthrough_runs():
+    out = run_example("paper_walkthrough.py")
+    assert "match Fig. 4(c) exactly" in out
+    assert "distances unchanged by reordering" in out

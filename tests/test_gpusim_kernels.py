@@ -1,0 +1,137 @@
+"""Tests for the SIMT work-to-thread mappings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim import (
+    grid_stride,
+    thread_per_item,
+    thread_per_vertex_edges,
+    threads_per_vertex_edges,
+)
+
+
+class TestThreadPerItem:
+    def test_basic(self):
+        a = thread_per_item(65)
+        assert a.num_threads == 65
+        assert a.num_warps == 3
+        assert a.num_slots == 3
+        assert a.max_steps == 1
+        assert a.num_items == 65
+
+    def test_empty(self):
+        a = thread_per_item(0)
+        assert a.num_slots == 0 and a.max_steps == 0
+
+    def test_efficiency_full_warp(self):
+        assert thread_per_item(64).simt_efficiency == 1.0
+        assert thread_per_item(33).simt_efficiency == pytest.approx(33 / 64)
+
+
+class TestThreadPerVertexEdges:
+    def test_warp_cost_is_max_degree(self):
+        # one warp: degrees 1 and 9 -> the warp issues 9 steps
+        a = thread_per_vertex_edges(np.array([1, 9]))
+        assert a.num_slots == 9
+        assert a.max_steps == 9
+        assert a.num_items == 10
+
+    def test_two_warps_independent(self):
+        counts = np.zeros(64, dtype=np.int64)
+        counts[0] = 5   # warp 0
+        counts[40] = 3  # warp 1
+        a = thread_per_vertex_edges(counts)
+        assert a.num_slots == 8
+        assert a.max_steps == 5
+
+    def test_items_in_vertex_order(self):
+        counts = np.array([2, 1])
+        a = thread_per_vertex_edges(counts)
+        # both vertices are in warp 0: edge 0 of v0 and edge 0 of v1 share
+        # the first lockstep slot
+        assert a.slots[0] == a.slots[2]
+        assert a.slots[1] != a.slots[0]
+
+    def test_empty(self):
+        a = thread_per_vertex_edges(np.array([], dtype=np.int64))
+        assert a.num_slots == 0 and a.num_threads == 0
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_analytic_slot_count_matches_unique(self, counts):
+        a = thread_per_vertex_edges(np.array(counts, dtype=np.int64))
+        expected = np.unique(a.slots).size if a.slots.size else 0
+        assert a.num_slots == expected
+
+    def test_hub_dominates_efficiency(self):
+        """A single hub in a warp of leaves wastes almost all lanes."""
+        counts = np.ones(32, dtype=np.int64)
+        counts[0] = 1000
+        a = thread_per_vertex_edges(counts)
+        assert a.simt_efficiency < 0.05
+
+
+class TestThreadsPerVertexEdges:
+    def test_requires_warp_multiple(self):
+        with pytest.raises(ValueError):
+            threads_per_vertex_edges(np.array([4]), 48)
+
+    def test_warp_granularity(self):
+        a = threads_per_vertex_edges(np.array([64]), 32)
+        assert a.max_steps == 2      # 64 edges / 32 lanes
+        assert a.num_slots == 2
+        assert a.num_threads == 32
+
+    def test_block_granularity_collapses_hub(self):
+        a = threads_per_vertex_edges(np.array([1000]), 256)
+        assert a.max_steps == 4      # ceil(1000/256)
+        # ceil(1000/32) warp instructions: lanes stay nearly full
+        assert a.num_slots == 32
+        assert a.simt_efficiency > 0.9
+
+    @given(
+        st.lists(st.integers(0, 300), min_size=1, max_size=40),
+        st.sampled_from([32, 256]),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_analytic_slot_count_matches_unique(self, counts, tpv):
+        a = threads_per_vertex_edges(np.array(counts, dtype=np.int64), tpv)
+        expected = np.unique(a.slots).size if a.slots.size else 0
+        assert a.num_slots == expected
+
+    def test_empty(self):
+        a = threads_per_vertex_edges(np.array([], dtype=np.int64), 32)
+        assert a.num_slots == 0
+
+
+class TestGridStride:
+    def test_balanced(self):
+        a = grid_stride(1000, 64)
+        assert a.max_steps == 16  # ceil(1000/64)
+        assert a.num_items == 1000
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            grid_stride(10, 0)
+
+    def test_empty_items(self):
+        a = grid_stride(0, 128)
+        assert a.num_slots == 0 and a.max_steps == 0
+
+    def test_consecutive_items_share_slot(self):
+        a = grid_stride(64, 64)
+        assert a.slots[0] == a.slots[31]
+        assert a.slots[0] != a.slots[32]
+
+    @given(st.integers(0, 3000), st.sampled_from([32, 64, 192, 8192]))
+    @settings(max_examples=50, deadline=None)
+    def test_analytic_slot_count_matches_unique(self, n, t):
+        a = grid_stride(n, t)
+        expected = np.unique(a.slots).size if a.slots.size else 0
+        assert a.num_slots == expected
+
+    def test_efficiency_near_one_for_large_batches(self):
+        assert grid_stride(10_000, 256).simt_efficiency > 0.95

@@ -1,0 +1,156 @@
+"""Tests for the coalescing model, device arrays and the cache model."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim import (
+    BumpAllocator,
+    CacheModel,
+    DeviceArray,
+    GPUDevice,
+    V100,
+    coalesce,
+    reuse_gaps,
+)
+
+
+class TestBumpAllocator:
+    def test_alignment_and_no_overlap(self):
+        a = BumpAllocator()
+        p1 = a.allocate(100)
+        p2 = a.allocate(100)
+        assert p1 % 128 == 0
+        assert p2 % 128 == 0
+        assert p2 >= p1 + 128  # padded + guard line
+
+    def test_monotonic(self):
+        a = BumpAllocator()
+        ptrs = [a.allocate(64) for _ in range(10)]
+        assert ptrs == sorted(ptrs)
+
+
+class TestDeviceArray:
+    def test_addresses(self):
+        arr = DeviceArray(np.zeros(4, dtype=np.float64), 1024)
+        assert list(arr.addresses(np.array([0, 1, 3]))) == [1024, 1032, 1048]
+        assert arr.itemsize == 8
+        assert arr.size == 4
+        assert arr.nbytes == 32
+
+
+class TestCoalesce:
+    def test_fully_coalesced_warp(self):
+        """32 consecutive float64 loads in one slot -> 8 sector transactions."""
+        addrs = np.arange(32) * 8
+        slots = np.zeros(32, dtype=np.int64)
+        instr, trans, lines = coalesce(addrs, slots, 32, 128)
+        assert instr == 1
+        assert trans == 8
+        assert lines.size == 8
+
+    def test_fully_scattered_warp(self):
+        """32 loads each to a different sector -> 32 transactions."""
+        addrs = np.arange(32) * 4096
+        slots = np.zeros(32, dtype=np.int64)
+        instr, trans, _ = coalesce(addrs, slots, 32, 128)
+        assert instr == 1
+        assert trans == 32
+
+    def test_same_address_in_warp_coalesces(self):
+        addrs = np.zeros(32, dtype=np.int64)
+        slots = np.zeros(32, dtype=np.int64)
+        instr, trans, _ = coalesce(addrs, slots, 32, 128)
+        assert instr == 1 and trans == 1
+
+    def test_two_slots_do_not_coalesce_across(self):
+        addrs = np.array([0, 0])
+        slots = np.array([0, 1])
+        instr, trans, _ = coalesce(addrs, slots, 32, 128)
+        assert instr == 2 and trans == 2
+
+    def test_empty(self):
+        instr, trans, lines = coalesce(
+            np.array([], dtype=np.int64), np.array([], dtype=np.int64), 32, 128
+        )
+        assert instr == 0 and trans == 0 and lines.size == 0
+
+    def test_sector_ids(self):
+        addrs = np.array([0, 256])
+        slots = np.array([0, 0])
+        _, _, sectors = coalesce(addrs, slots, 32, 128)
+        assert list(sectors) == [0, 8]  # 32 B sector granularity
+
+
+class TestReuseGaps:
+    def test_first_touch_is_minus_one(self):
+        gaps = reuse_gaps(np.array([1, 2, 3]))
+        assert list(gaps) == [-1, -1, -1]
+
+    def test_gap_counting(self):
+        gaps = reuse_gaps(np.array([7, 8, 7, 7]))
+        assert list(gaps) == [-1, -1, 2, 1]
+
+    def test_empty(self):
+        assert reuse_gaps(np.array([], dtype=np.int64)).size == 0
+
+
+class TestCacheModel:
+    def test_tiny_working_set_hits(self):
+        cache = CacheModel(V100)
+        lines = np.tile(np.arange(4), 100)
+        hits = cache.hits(lines)
+        assert hits[:4].sum() == 0  # cold misses
+        assert hits[4:].all()
+
+    def test_streaming_never_hits(self):
+        cache = CacheModel(V100)
+        lines = np.arange(10_000)
+        assert cache.hit_count(lines) == 0
+
+    def test_capacity_sensitivity(self):
+        """A working set larger than cache misses; smaller hits."""
+        small = CacheModel(V100.scaled_for_workload(1 / 10_000))  # 2560 sectors
+        big = CacheModel(V100)  # ~327k sectors
+        ws = 6000
+        lines = np.tile(np.arange(ws), 5)
+        assert big.hit_count(lines) > small.hit_count(lines)
+
+    def test_hit_count_monotone_in_locality(self):
+        """Sorted (clustered) reuse beats random interleave at tight capacity."""
+        cache = CacheModel(V100.scaled_for_workload(1 / 5000))
+        rng = np.random.default_rng(0)
+        base = np.repeat(np.arange(2000), 3)
+        clustered = np.sort(base)
+        shuffled = rng.permutation(base)
+        assert cache.hit_count(clustered) >= cache.hit_count(shuffled)
+
+    def test_single_line(self):
+        cache = CacheModel(V100)
+        lines = np.zeros(50, dtype=np.int64)
+        assert cache.hit_count(lines) == 49
+
+
+class TestDeviceAllocation:
+    def test_alloc_copies(self):
+        dev = GPUDevice(V100)
+        src = np.arange(4, dtype=np.float64)
+        arr = dev.alloc(src)
+        src[0] = 99
+        assert arr.data[0] == 0
+
+    def test_upload_wraps(self):
+        dev = GPUDevice(V100)
+        src = np.arange(4, dtype=np.float64)
+        arr = dev.upload(src)
+        assert arr.data is src or arr.data.base is src
+
+    def test_distinct_addresses(self):
+        dev = GPUDevice(V100)
+        a = dev.zeros(10)
+        b = dev.zeros(10)
+        assert a.base_address != b.base_address
+
+    def test_full(self):
+        dev = GPUDevice(V100)
+        arr = dev.full(5, np.inf)
+        assert np.all(np.isinf(arr.data))

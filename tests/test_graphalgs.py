@@ -1,0 +1,165 @@
+"""Tests for the framework kernels (BFS, components, PageRank)."""
+
+import numpy as np
+import pytest
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import dijkstra as scipy_dijkstra
+
+from repro.graphalgs import (
+    bfs_gpu,
+    connected_components_gpu,
+    pagerank_gpu,
+)
+from repro.graphs import (
+    from_edges,
+    kronecker,
+    largest_component_vertices,
+    path,
+    star,
+)
+from repro.graphs.properties import connected_components
+from repro.gpusim import V100
+
+SPEC = V100.scaled_for_workload(1 / 64)
+
+
+def hop_counts(graph, source):
+    mat = csr_matrix(
+        (np.ones(graph.num_edges), graph.adj, graph.row),
+        shape=(graph.num_vertices, graph.num_vertices),
+    )
+    return scipy_dijkstra(mat, indices=source, unweighted=True)
+
+
+class TestBfs:
+    @pytest.mark.parametrize("adaptive", [True, False])
+    def test_levels_match_scipy(self, adaptive):
+        g = kronecker(8, 8, weights="int", seed=100)
+        src = int(largest_component_vertices(g)[0])
+        r = bfs_gpu(g, src, spec=SPEC, adaptive=adaptive)
+        ref = hop_counts(g, src)
+        assert np.array_equal(np.isfinite(r.dist), np.isfinite(ref))
+        f = np.isfinite(ref)
+        assert np.allclose(r.dist[f], ref[f])
+
+    def test_path_depth(self):
+        g = path(20)
+        r = bfs_gpu(g, 0, spec=SPEC)
+        assert r.extra["depth"] == 19
+        assert r.dist[19] == 19.0
+
+    def test_star_one_level(self):
+        g = star(30)
+        r = bfs_gpu(g, 0, spec=SPEC)
+        assert r.extra["depth"] == 1
+        assert np.all(r.dist[1:] == 1.0)
+
+    def test_isolated_source(self):
+        g = from_edges(np.array([1]), np.array([2]), np.ones(1),
+                       num_vertices=4, symmetrize=True)
+        r = bfs_gpu(g, 0, spec=SPEC)
+        assert np.isinf(r.dist[1:]).all()
+
+    def test_adaptive_spawns_children_on_hub(self):
+        g = star(500)
+        r = bfs_gpu(g, 0, spec=SPEC, adaptive=True)
+        assert r.counters.totals.child_kernel_launches > 0
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            bfs_gpu(path(4), 9, spec=SPEC)
+
+
+class TestComponents:
+    def _same_partition(self, got, ref):
+        mapping = {}
+        for a, b in zip(got, ref):
+            if a in mapping and mapping[a] != b:
+                return False
+            mapping[a] = b
+        return len(set(mapping.values())) == len(mapping)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_scipy_partition(self, seed):
+        rng = np.random.default_rng(seed)
+        g = from_edges(
+            rng.integers(0, 40, 60), rng.integers(0, 40, 60),
+            np.ones(60), num_vertices=40, symmetrize=True,
+        )
+        r = connected_components_gpu(g, spec=SPEC)
+        ref = connected_components(g)
+        assert r.num_components == len(set(ref.tolist()))
+        assert self._same_partition(r.labels, ref)
+
+    def test_all_isolated(self):
+        g = from_edges(np.array([]), np.array([]), np.array([]), num_vertices=5)
+        r = connected_components_gpu(g, spec=SPEC)
+        assert r.num_components == 5
+
+    def test_single_component_label_is_min(self):
+        g = path(10)
+        r = connected_components_gpu(g, spec=SPEC)
+        assert r.num_components == 1
+        assert np.all(r.labels == 0)
+
+    def test_component_sizes(self):
+        g = from_edges(np.array([0, 2]), np.array([1, 3]), np.ones(2),
+                       num_vertices=5, symmetrize=True)
+        r = connected_components_gpu(g, spec=SPEC)
+        assert sorted(r.component_sizes().tolist()) == [1, 2, 2]
+
+    def test_rounds_bounded_by_diameter(self):
+        g = path(30)
+        r = connected_components_gpu(g, spec=SPEC)
+        assert r.rounds <= 31
+
+
+class TestPageRank:
+    def test_sums_to_one_and_converges(self):
+        g = kronecker(8, 8, weights="int", seed=101)
+        r = pagerank_gpu(g, spec=SPEC)
+        assert r.converged
+        assert r.ranks.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(r.ranks > 0)
+
+    def test_hub_ranks_highest(self):
+        g = star(50)
+        r = pagerank_gpu(g, spec=SPEC)
+        assert r.top(1)[0] == 0
+
+    def test_uniform_on_symmetric_regular(self):
+        # a cycle: every vertex identical -> uniform ranks
+        n = 16
+        src = np.arange(n)
+        dst = (src + 1) % n
+        g = from_edges(src, dst, np.ones(n), num_vertices=n, symmetrize=True)
+        r = pagerank_gpu(g, spec=SPEC)
+        assert np.allclose(r.ranks, 1.0 / n, atol=1e-6)
+
+    def test_matches_networkx(self):
+        import networkx as nx
+
+        g = kronecker(6, 4, weights="int", seed=102)
+        r = pagerank_gpu(g, spec=SPEC, tol=1e-10)
+        nxg = nx.DiGraph()
+        nxg.add_nodes_from(range(g.num_vertices))
+        nxg.add_edges_from((u, v) for u, v, _ in g.iter_edges())
+        ref = nx.pagerank(nxg, alpha=0.85, tol=1e-12, max_iter=500)
+        ref_vec = np.array([ref[i] for i in range(g.num_vertices)])
+        assert np.allclose(r.ranks, ref_vec, atol=1e-6)
+
+    def test_invalid_damping(self):
+        with pytest.raises(ValueError):
+            pagerank_gpu(path(4), damping=1.5, spec=SPEC)
+
+    def test_empty_graph(self):
+        from repro.graphs import CSRGraph
+
+        g = CSRGraph(row=np.array([0]), adj=np.array([]), weights=np.array([]))
+        r = pagerank_gpu(g, spec=SPEC)
+        assert r.ranks.size == 0
+
+    def test_atomic_add_traffic_counted(self):
+        g = kronecker(7, 8, weights="int", seed=103)
+        r = pagerank_gpu(g, spec=SPEC, max_iterations=3)
+        assert r.counters.totals.inst_executed_atomics > 0

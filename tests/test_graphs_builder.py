@@ -1,0 +1,134 @@
+"""Unit tests for edge-list -> CSR construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import from_edges
+from repro.graphs.builder import dedup_edges, remove_self_loops, symmetrize_edges
+
+
+class TestHelpers:
+    def test_remove_self_loops(self):
+        s, d, w = remove_self_loops(
+            np.array([0, 1, 2]), np.array([0, 2, 2]), np.array([1.0, 2.0, 3.0])
+        )
+        assert list(s) == [1]
+        assert list(d) == [2]
+        assert list(w) == [2.0]
+
+    def test_symmetrize_doubles(self):
+        s, d, w = symmetrize_edges(
+            np.array([0]), np.array([1]), np.array([7.0])
+        )
+        assert sorted(zip(s, d, w)) == [(0, 1, 7.0), (1, 0, 7.0)]
+
+    def test_dedup_keeps_minimum_weight(self):
+        s, d, w = dedup_edges(
+            np.array([0, 0, 0]),
+            np.array([1, 1, 2]),
+            np.array([5.0, 2.0, 9.0]),
+        )
+        pairs = dict(((int(a), int(b)), float(x)) for a, b, x in zip(s, d, w))
+        assert pairs == {(0, 1): 2.0, (0, 2): 9.0}
+
+    def test_dedup_empty(self):
+        s, d, w = dedup_edges(np.array([]), np.array([]), np.array([]))
+        assert s.size == 0
+
+
+class TestFromEdges:
+    def test_basic_packing(self):
+        g = from_edges(
+            np.array([1, 0, 0]),
+            np.array([2, 2, 1]),
+            np.array([3.0, 2.0, 1.0]),
+        )
+        assert g.num_vertices == 3
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.edge_weights(0)) == [1.0, 2.0]
+        assert list(g.neighbors(1)) == [2]
+
+    def test_explicit_num_vertices(self):
+        g = from_edges(np.array([0]), np.array([1]), np.array([1.0]), num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.degrees[9] == 0
+
+    def test_num_vertices_too_small(self):
+        with pytest.raises(ValueError):
+            from_edges(np.array([0]), np.array([5]), np.array([1.0]), num_vertices=3)
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges(np.array([-1]), np.array([0]), np.array([1.0]))
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            from_edges(np.array([0]), np.array([1, 2]), np.array([1.0]))
+
+    def test_symmetrize_flag(self):
+        g = from_edges(
+            np.array([0]), np.array([1]), np.array([4.0]), symmetrize=True
+        )
+        assert g.num_edges == 2
+        assert list(g.neighbors(1)) == [0]
+
+    def test_self_loops_dropped_by_default(self):
+        g = from_edges(np.array([0, 0]), np.array([0, 1]), np.array([1.0, 2.0]))
+        assert g.num_edges == 1
+
+    def test_self_loops_kept_when_asked(self):
+        g = from_edges(
+            np.array([0]), np.array([0]), np.array([1.0]), drop_self_loops=False
+        )
+        assert g.num_edges == 1
+
+    def test_parallel_edges_dedup_off(self):
+        g = from_edges(
+            np.array([0, 0]), np.array([1, 1]), np.array([1.0, 2.0]), dedup=False
+        )
+        assert g.num_edges == 2
+
+    def test_empty_input(self):
+        g = from_edges(np.array([]), np.array([]), np.array([]), num_vertices=4)
+        assert g.num_vertices == 4
+        assert g.num_edges == 0
+
+    @given(
+        edges=st.lists(
+            st.tuples(
+                st.integers(0, 20), st.integers(0, 20), st.floats(0.1, 100.0)
+            ),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_packing_matches_reference(self, edges):
+        """CSR packing agrees with a dict-of-dicts reference under dedup."""
+        if edges:
+            s = np.array([e[0] for e in edges])
+            d = np.array([e[1] for e in edges])
+            w = np.array([e[2] for e in edges])
+        else:
+            s = d = w = np.array([])
+        g = from_edges(s, d, w, num_vertices=21)
+        ref: dict[tuple[int, int], float] = {}
+        for a, b, x in edges:
+            if a == b:
+                continue
+            key = (a, b)
+            ref[key] = min(ref.get(key, np.inf), x)
+        got = {(u, v): w for u, v, w in g.iter_edges()}
+        assert got.keys() == ref.keys()
+        for k in ref:
+            assert got[k] == pytest.approx(ref[k])
+
+    def test_adjacency_sorted_by_target_after_dedup(self):
+        g = from_edges(
+            np.array([0, 0, 0]),
+            np.array([5, 2, 8]),
+            np.array([1.0, 1.0, 1.0]),
+            num_vertices=9,
+        )
+        assert list(g.neighbors(0)) == [2, 5, 8]

@@ -1,0 +1,187 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import CSRGraph, GraphValidationError, from_edges
+
+
+def make_simple():
+    # 0->1 (w2), 0->2 (w5), 1->2 (w1), 2 has no out-edges
+    return CSRGraph(
+        row=np.array([0, 2, 3, 3]),
+        adj=np.array([1, 2, 2]),
+        weights=np.array([2.0, 5.0, 1.0]),
+        name="simple",
+    )
+
+
+class TestConstruction:
+    def test_basic_counts(self):
+        g = make_simple()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.average_degree == pytest.approx(1.0)
+
+    def test_degrees(self):
+        g = make_simple()
+        assert list(g.degrees) == [2, 1, 0]
+
+    def test_empty_graph(self):
+        g = CSRGraph(row=np.array([0]), adj=np.array([]), weights=np.array([]))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert g.average_degree == 0.0
+
+    def test_single_vertex_no_edges(self):
+        g = CSRGraph(row=np.array([0, 0]), adj=np.array([]), weights=np.array([]))
+        assert g.num_vertices == 1
+        assert g.neighbors(0).size == 0
+
+    def test_arrays_are_frozen(self):
+        g = make_simple()
+        with pytest.raises(ValueError):
+            g.adj[0] = 5
+        with pytest.raises(ValueError):
+            g.weights[0] = 1.0
+
+    def test_dtype_coercion(self):
+        g = CSRGraph(
+            row=np.array([0, 1], dtype=np.int32),
+            adj=np.array([0], dtype=np.int16),
+            weights=np.array([1], dtype=np.int64),
+        )
+        assert g.adj.dtype == np.int64
+        assert g.weights.dtype == np.float64
+
+
+class TestValidation:
+    def test_row_not_starting_at_zero(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(row=np.array([1, 2]), adj=np.array([0]), weights=np.array([1.0]))
+
+    def test_row_last_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(row=np.array([0, 2]), adj=np.array([0]), weights=np.array([1.0]))
+
+    def test_row_decreasing(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(
+                row=np.array([0, 2, 1, 3]),
+                adj=np.array([0, 1, 2]),
+                weights=np.ones(3),
+            )
+
+    def test_adjacency_out_of_range(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(row=np.array([0, 1]), adj=np.array([3]), weights=np.array([1.0]))
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(
+                row=np.array([0, 1]), adj=np.array([0]), weights=np.array([-1.0])
+            )
+
+    def test_weights_length_mismatch(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(
+                row=np.array([0, 1]), adj=np.array([0]), weights=np.array([1.0, 2.0])
+            )
+
+    def test_heavy_offsets_wrong_size(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(
+                row=np.array([0, 1]),
+                adj=np.array([0]),
+                weights=np.array([1.0]),
+                heavy_offsets=np.array([0, 1]),
+            )
+
+    def test_heavy_offsets_out_of_segment(self):
+        with pytest.raises(GraphValidationError):
+            CSRGraph(
+                row=np.array([0, 1, 2]),
+                adj=np.array([1, 0]),
+                weights=np.array([1.0, 1.0]),
+                heavy_offsets=np.array([2, 1]),
+            )
+
+
+class TestAccessors:
+    def test_neighbors_and_weights(self):
+        g = make_simple()
+        assert list(g.neighbors(0)) == [1, 2]
+        assert list(g.edge_weights(0)) == [2.0, 5.0]
+        assert list(g.neighbors(2)) == []
+
+    def test_iter_edges(self):
+        g = make_simple()
+        edges = list(g.iter_edges())
+        assert edges == [(0, 1, 2.0), (0, 2, 5.0), (1, 2, 1.0)]
+
+    def test_edge_sources(self):
+        g = make_simple()
+        assert list(g.edge_sources()) == [0, 0, 1]
+
+    def test_light_heavy_ranges_require_offsets(self):
+        g = make_simple()
+        with pytest.raises(ValueError):
+            g.light_range(0)
+        with pytest.raises(ValueError):
+            g.heavy_range(0)
+        with pytest.raises(ValueError):
+            g.light_degrees()
+
+    def test_light_heavy_ranges(self):
+        g = CSRGraph(
+            row=np.array([0, 2, 3]),
+            adj=np.array([1, 1, 0]),
+            weights=np.array([1.0, 5.0, 2.0]),
+            heavy_offsets=np.array([1, 3]),
+            delta=3.0,
+        )
+        assert g.light_range(0) == (0, 1)
+        assert g.heavy_range(0) == (1, 2)
+        assert g.light_range(1) == (2, 3)
+        assert g.heavy_range(1) == (3, 3)
+        assert list(g.light_degrees()) == [1, 1]
+
+    def test_max_weight(self):
+        assert make_simple().max_weight() == 5.0
+        empty = CSRGraph(row=np.array([0]), adj=np.array([]), weights=np.array([]))
+        assert empty.max_weight() == 0.0
+
+
+class TestTransforms:
+    def test_with_weights_replaces_and_drops_offsets(self):
+        g = CSRGraph(
+            row=np.array([0, 1]),
+            adj=np.array([0]),
+            weights=np.array([1.0]),
+            heavy_offsets=np.array([1]),
+            delta=0.5,
+        )
+        g2 = g.with_weights(np.array([9.0]))
+        assert g2.weights[0] == 9.0
+        assert g2.heavy_offsets is None
+        assert g2.delta is None
+
+    def test_to_original_order_identity(self):
+        g = make_simple()
+        vals = np.array([1.0, 2.0, 3.0])
+        assert np.array_equal(g.to_original_order(vals), vals)
+
+    def test_to_original_order_with_permutation(self):
+        g = CSRGraph(
+            row=np.array([0, 0, 0]),
+            adj=np.array([]),
+            weights=np.array([]),
+            new_to_old=np.array([1, 0]),
+            old_to_new=np.array([1, 0]),
+        )
+        vals = np.array([10.0, 20.0])  # values for new ids 0, 1
+        out = g.to_original_order(vals)
+        assert list(out) == [20.0, 10.0]
+
+    def test_repr_mentions_name(self):
+        assert "simple" in repr(make_simple())

@@ -1,0 +1,179 @@
+"""Unit tests for the synthetic graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    complete,
+    erdos_renyi,
+    grid_road_network,
+    kronecker,
+    paper_fig1_graph,
+    paper_fig4_graph,
+    path,
+    preferential_attachment,
+    small_world,
+    star,
+)
+from repro.graphs.generators import GRAPH500_INITIATOR, rmat_edges
+from repro.graphs.properties import degree_skewness, estimate_diameter
+
+
+class TestRmat:
+    def test_edge_count_and_range(self):
+        rng = np.random.default_rng(0)
+        src, dst = rmat_edges(8, 1000, rng=rng)
+        assert src.size == dst.size == 1000
+        assert src.min() >= 0 and src.max() < 256
+        assert dst.min() >= 0 and dst.max() < 256
+
+    def test_determinism(self):
+        a = rmat_edges(6, 100, rng=np.random.default_rng(5))
+        b = rmat_edges(6, 100, rng=np.random.default_rng(5))
+        assert np.array_equal(a[0], b[0]) and np.array_equal(a[1], b[1])
+
+    def test_initiator_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            rmat_edges(4, 10, initiator=(0.5, 0.5, 0.5, 0.5))
+
+    def test_negative_args_rejected(self):
+        with pytest.raises(ValueError):
+            rmat_edges(-1, 10)
+        with pytest.raises(ValueError):
+            rmat_edges(4, -10)
+
+    def test_graph500_initiator_is_papers(self):
+        assert GRAPH500_INITIATOR == (0.57, 0.19, 0.19, 0.05)
+
+    def test_skewed_degrees(self):
+        """R-MAT with the Graph500 initiator is strongly right-skewed."""
+        g = kronecker(10, 16, seed=1)
+        assert degree_skewness(g) > 2.0
+
+
+class TestKronecker:
+    def test_sizes(self):
+        g = kronecker(8, 4, seed=0)
+        assert g.num_vertices == 256
+        # symmetrized and deduplicated: at most 2 * edgefactor * n arcs
+        assert 0 < g.num_edges <= 2 * 4 * 256
+
+    def test_unit_weights_in_range(self):
+        g = kronecker(6, 4, weights="unit", seed=0)
+        assert g.weights.min() >= 0.0 and g.weights.max() < 1.0
+
+    def test_int_weights_in_range(self):
+        g = kronecker(6, 4, weights="int", max_weight=50, seed=0)
+        assert g.weights.min() >= 1.0 and g.weights.max() <= 50.0
+        assert np.all(g.weights == np.round(g.weights))
+
+    def test_unknown_weight_scheme(self):
+        with pytest.raises(ValueError):
+            kronecker(4, 2, weights="bogus")
+
+    def test_deterministic_by_seed(self):
+        a = kronecker(6, 4, seed=9)
+        b = kronecker(6, 4, seed=9)
+        assert np.array_equal(a.adj, b.adj)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_default_name(self):
+        assert kronecker(5, 3).name == "k-n5-3"
+
+
+class TestRoadNetwork:
+    def test_grid_dimensions(self):
+        g = grid_road_network(10, 7, seed=0)
+        assert g.num_vertices == 70
+
+    def test_uniform_low_degree(self):
+        g = grid_road_network(30, 30, seed=1)
+        assert g.degrees.max() <= 8  # 4 streets + diagonals both ways
+        assert degree_skewness(g) < 2.0
+
+    def test_high_diameter(self):
+        g = grid_road_network(30, 30, diagonal_prob=0.0, drop_prob=0.0, seed=0)
+        assert estimate_diameter(g, num_probes=2) >= 40
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            grid_road_network(0, 5)
+
+
+class TestPreferentialAttachment:
+    def test_sizes(self):
+        g = preferential_attachment(200, 3, seed=0)
+        assert g.num_vertices == 200
+        assert g.num_edges > 0
+
+    def test_power_law_ish(self):
+        g = preferential_attachment(500, 2, seed=0)
+        assert g.degrees.max() > 5 * np.median(g.degrees)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            preferential_attachment(3, 3)
+        with pytest.raises(ValueError):
+            preferential_attachment(10, 0)
+
+
+class TestSimpleTopologies:
+    def test_star(self):
+        g = star(10)
+        assert g.num_vertices == 11
+        assert g.degrees[0] == 10
+        assert np.all(g.degrees[1:] == 1)
+
+    def test_path(self):
+        g = path(5)
+        assert g.num_vertices == 5
+        assert estimate_diameter(g) == 4
+
+    def test_path_single_vertex(self):
+        g = path(1)
+        assert g.num_vertices == 1 and g.num_edges == 0
+
+    def test_complete(self):
+        g = complete(6)
+        assert g.num_vertices == 6
+        assert g.num_edges == 6 * 5
+
+    def test_erdos_renyi(self):
+        g = erdos_renyi(100, 300, seed=0)
+        assert g.num_vertices == 100
+        assert g.num_edges <= 600
+
+    def test_small_world(self):
+        g = small_world(64, 4, 0.1, seed=0)
+        assert g.num_vertices == 64
+        with pytest.raises(ValueError):
+            small_world(64, 3)
+
+
+class TestPaperFixtures:
+    def test_fig1_matches_printed_csr(self):
+        g = paper_fig1_graph()
+        assert list(g.row) == [0, 3, 6, 9, 15, 18, 20, 23, 26]
+        assert g.num_vertices == 8
+        assert g.num_edges == 26  # 13 undirected edges
+
+    def test_fig1_is_symmetric(self):
+        g = paper_fig1_graph()
+        edges = {(u, v): w for u, v, w in g.iter_edges()}
+        for (u, v), w in edges.items():
+            assert edges.get((v, u)) == w
+
+    def test_fig1_degrees(self):
+        g = paper_fig1_graph()
+        assert list(g.degrees) == [3, 3, 3, 6, 3, 2, 3, 3]
+
+    def test_fig4_degrees_match_paper(self):
+        g = paper_fig4_graph()
+        # "the degree of vertices 0, 1, 2, 3, 4 are 2, 4, 2, 3, 3"
+        assert list(g.degrees) == [2, 4, 2, 3, 3]
+
+    def test_fig4_is_symmetric(self):
+        g = paper_fig4_graph()
+        edges = {(u, v): w for u, v, w in g.iter_edges()}
+        for (u, v), w in edges.items():
+            assert edges.get((v, u)) == w

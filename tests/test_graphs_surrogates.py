@@ -1,0 +1,66 @@
+"""Tests for the Table-1 dataset surrogates."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import DATASETS, dataset_names, load
+from repro.graphs.properties import degree_skewness
+from repro.graphs.surrogates import PAPER_TABLE1
+
+
+class TestRegistry:
+    def test_all_paper_datasets_present(self):
+        for name in PAPER_TABLE1:
+            assert name in DATASETS
+        assert "k-n21-16" in DATASETS
+
+    def test_dataset_names_order(self):
+        names = dataset_names()
+        assert names[0] == "road-TX"
+        assert len(names) == 11
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            load("no-such-graph")
+
+    def test_specs_carry_paper_numbers(self):
+        spec = DATASETS["road-TX"]
+        assert spec.paper_vertices == 1_379_917
+        assert spec.paper_edges == 1_921_660
+        assert spec.paper_diameter == 1054
+
+
+@pytest.mark.parametrize("name", ["road-TX", "Amazon", "web-GL", "wiki-TK"])
+class TestSurrogateConstruction:
+    def test_loads_and_is_nonempty(self, name):
+        g = load(name)
+        assert g.num_vertices > 1000
+        assert g.num_edges > 1000
+        assert g.name == name
+
+    def test_deterministic(self, name):
+        a, b = load(name), load(name)
+        assert np.array_equal(a.adj, b.adj)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_weights_are_paper_convention(self, name):
+        g = load(name)
+        assert g.weights.min() >= 1.0
+        assert g.weights.max() <= 1000.0
+
+
+class TestStructuralClasses:
+    def test_road_is_uniform_degree(self):
+        g = load("road-TX")
+        assert degree_skewness(g) < 2.0
+        assert g.degrees.max() <= 8
+
+    def test_social_graphs_are_skewed(self):
+        for name in ["com-LJ", "soc-PK", "wiki-TK"]:
+            assert degree_skewness(load(name)) > 3.0, name
+
+    def test_avg_degree_ordering_matches_paper(self):
+        """com-OK is densest and road-TX/wiki-TK sparsest, as in Table 1."""
+        avg = {n: load(n).average_degree for n in ["com-OK", "road-TX", "wiki-TK", "soc-PK"]}
+        assert avg["com-OK"] > avg["soc-PK"] > avg["wiki-TK"]
+        assert avg["road-TX"] < avg["soc-PK"]

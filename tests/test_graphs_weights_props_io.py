@@ -1,0 +1,172 @@
+"""Unit tests for weight generation, graph statistics and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    connected_components,
+    degree_histogram,
+    estimate_diameter,
+    exponential_weights,
+    from_edges,
+    graph_stats,
+    grid_road_network,
+    kronecker,
+    largest_component_vertices,
+    load_npz,
+    path,
+    read_dimacs_gr,
+    read_edge_list,
+    reweight,
+    save_npz,
+    star,
+    uniform_int_weights,
+    uniform_unit_weights,
+    write_dimacs_gr,
+    write_edge_list,
+)
+from repro.reorder import apply_pro
+
+
+class TestWeights:
+    def test_uniform_int_bounds(self):
+        w = uniform_int_weights(10_000, 100, np.random.default_rng(0))
+        assert w.min() >= 1 and w.max() <= 100
+        assert w.dtype == np.float64
+
+    def test_uniform_int_invalid_max(self):
+        with pytest.raises(ValueError):
+            uniform_int_weights(5, 0)
+
+    def test_uniform_unit_bounds(self):
+        w = uniform_unit_weights(10_000, np.random.default_rng(0))
+        assert w.min() >= 0.0 and w.max() < 1.0
+
+    def test_exponential_positive(self):
+        w = exponential_weights(1000, 2.0, np.random.default_rng(0))
+        assert w.min() >= 0.0
+        with pytest.raises(ValueError):
+            exponential_weights(5, -1.0)
+
+    def test_reweight_preserves_symmetry(self):
+        """Both arcs of one undirected edge get the same new weight."""
+        g = kronecker(6, 4, seed=2)
+        g2 = reweight(g, "unit", seed=3)
+        edges = {}
+        for u, v, w in g2.iter_edges():
+            edges[(u, v)] = w
+        for (u, v), w in edges.items():
+            assert edges[(v, u)] == w
+
+    def test_reweight_schemes(self):
+        g = kronecker(5, 4, seed=2)
+        assert reweight(g, "int", max_weight=7, seed=0).weights.max() <= 7
+        assert reweight(g, "unit", seed=0).weights.max() < 1.0
+        assert reweight(g, "exp", seed=0).weights.min() >= 0.0
+        with pytest.raises(ValueError):
+            reweight(g, "nope")
+
+
+class TestProperties:
+    def test_degree_histogram(self):
+        g = star(4)
+        hist = degree_histogram(g)
+        assert hist[1] == 4 and hist[4] == 1
+
+    def test_diameter_of_path(self):
+        assert estimate_diameter(path(30)) == 29
+
+    def test_diameter_of_star(self):
+        assert estimate_diameter(star(10)) == 2
+
+    def test_connected_components(self):
+        g = from_edges(
+            np.array([0, 2]), np.array([1, 3]), np.ones(2),
+            num_vertices=5, symmetrize=True,
+        )
+        labels = connected_components(g)
+        assert labels[0] == labels[1]
+        assert labels[2] == labels[3]
+        assert labels[0] != labels[2]
+        assert labels[4] not in (labels[0], labels[2])
+
+    def test_largest_component(self):
+        g = from_edges(
+            np.array([0, 1, 4]), np.array([1, 2, 5]), np.ones(3),
+            num_vertices=6, symmetrize=True,
+        )
+        comp = largest_component_vertices(g)
+        assert list(comp) == [0, 1, 2]
+
+    def test_graph_stats_row(self):
+        g = grid_road_network(8, 8, seed=0, name="g8")
+        s = graph_stats(g)
+        assert s.name == "g8"
+        assert s.num_vertices == 64
+        assert s.avg_degree == pytest.approx(g.average_degree)
+        assert s.max_degree == g.degrees.max()
+        row = s.as_row()
+        assert row[0] == "g8" and row[1] == 64
+
+
+class TestIO:
+    def test_edge_list_round_trip(self, tmp_path):
+        g = kronecker(5, 4, seed=7)
+        p = tmp_path / "g.txt"
+        write_edge_list(g, p)
+        g2 = read_edge_list(p, symmetrize=False, name=g.name)
+        assert g2.num_vertices == g.num_vertices
+        assert np.array_equal(g2.row, g.row)
+        assert np.array_equal(g2.adj, g.adj)
+        assert np.allclose(g2.weights, g.weights)
+
+    def test_edge_list_default_weight_and_comments(self, tmp_path):
+        p = tmp_path / "g.txt"
+        p.write_text("# comment\n0 1\n1 2 5.5\n")
+        g = read_edge_list(p, symmetrize=False)
+        assert g.num_edges == 2
+        assert dict(((u, v), w) for u, v, w in g.iter_edges()) == {
+            (0, 1): 1.0,
+            (1, 2): 5.5,
+        }
+
+    def test_dimacs_round_trip(self, tmp_path):
+        g = kronecker(5, 3, seed=8)
+        p = tmp_path / "g.gr"
+        write_dimacs_gr(g, p)
+        g2 = read_dimacs_gr(p)
+        assert g2.num_vertices == g.num_vertices
+        assert np.array_equal(g2.adj, g.adj)
+        assert np.allclose(g2.weights, g.weights)
+
+    def test_dimacs_requires_problem_line(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_text("c nothing\na 1 2 3\n")
+        with pytest.raises(ValueError):
+            read_dimacs_gr(p)
+
+    def test_dimacs_malformed_problem_line(self, tmp_path):
+        p = tmp_path / "bad.gr"
+        p.write_text("p tsp 3 1\n")
+        with pytest.raises(ValueError):
+            read_dimacs_gr(p)
+
+    def test_npz_round_trip_plain(self, tmp_path):
+        g = kronecker(5, 4, seed=9)
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        g2 = load_npz(p)
+        assert g2.name == g.name
+        assert np.array_equal(g2.row, g.row)
+        assert np.array_equal(g2.adj, g.adj)
+        assert g2.heavy_offsets is None
+
+    def test_npz_round_trip_with_pro(self, tmp_path):
+        g = apply_pro(kronecker(5, 4, seed=10), delta=500.0)
+        p = tmp_path / "g.npz"
+        save_npz(g, p)
+        g2 = load_npz(p)
+        assert np.array_equal(g2.heavy_offsets, g.heavy_offsets)
+        assert g2.delta == g.delta
+        assert np.array_equal(g2.new_to_old, g.new_to_old)
+        assert np.array_equal(g2.old_to_new, g.old_to_new)

@@ -1,0 +1,106 @@
+"""Sensitivity tests: the time model responds to hardware parameters the
+way the physics says it must.
+
+These are the simulator's dimensional-analysis checks: doubling bandwidth
+halves a memory-bound kernel, doubling SMs halves an issue-bound one,
+critical-path-bound kernels ignore both, and platform ratios emerge from
+specs alone.
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.gpusim import GPUDevice, V100, grid_stride, thread_per_vertex_edges
+from repro.gpusim.counters import KernelCounters
+from repro.gpusim.timemodel import kernel_time
+
+
+def mem_bound() -> KernelCounters:
+    return KernelCounters(global_load_transactions=10**7, l1_accesses=10**7)
+
+
+def issue_bound() -> KernelCounters:
+    return KernelCounters(inst_executed_other=10**8)
+
+
+class TestBandwidth:
+    def test_double_bandwidth_halves_memory_bound(self):
+        fast = replace(V100, mem_bandwidth_gbps=V100.mem_bandwidth_gbps * 2)
+        t_slow = kernel_time(V100, mem_bound(), 0)
+        t_fast = kernel_time(fast, mem_bound(), 0)
+        assert t_slow == pytest.approx(2 * t_fast)
+
+    def test_bandwidth_irrelevant_when_issue_bound(self):
+        fast = replace(V100, mem_bandwidth_gbps=V100.mem_bandwidth_gbps * 10)
+        assert kernel_time(V100, issue_bound(), 0) == pytest.approx(
+            kernel_time(fast, issue_bound(), 0)
+        )
+
+
+class TestComputeThroughput:
+    def test_double_sms_halves_issue_bound(self):
+        big = replace(V100, num_sms=V100.num_sms * 2)
+        assert kernel_time(V100, issue_bound(), 0) == pytest.approx(
+            2 * kernel_time(big, issue_bound(), 0)
+        )
+
+    def test_sms_irrelevant_when_memory_bound(self):
+        big = replace(V100, num_sms=V100.num_sms * 4)
+        assert kernel_time(V100, mem_bound(), 0) == pytest.approx(
+            kernel_time(big, mem_bound(), 0)
+        )
+
+    def test_clock_scales_critical_path(self):
+        fast = replace(V100, clock_ghz=V100.clock_ghz * 2)
+        c = KernelCounters()
+        assert kernel_time(V100, c, 10**6) == pytest.approx(
+            2 * kernel_time(fast, c, 10**6)
+        )
+
+
+class TestCriticalPathBinding:
+    def test_hub_kernel_insensitive_to_bandwidth(self):
+        """A single-warp dependent chain cannot be bought off with
+        bandwidth or SMs — only ADWL-style re-mapping helps."""
+        counts = np.array([100_000])  # one hub vertex
+        times = {}
+        for label, spec in (
+            ("base", V100),
+            ("fat", replace(V100, num_sms=160, mem_bandwidth_gbps=1800.0)),
+        ):
+            dev = GPUDevice(spec)
+            arr = dev.alloc(np.zeros(100_000))
+            with dev.launch("hub") as k:
+                k.gather(
+                    arr,
+                    np.arange(100_000, dtype=np.int64),
+                    thread_per_vertex_edges(counts),
+                )
+            times[label] = dev.time_s - spec.kernel_launch_s
+        assert times["fat"] == pytest.approx(times["base"], rel=0.01)
+
+    def test_balanced_kernel_benefits_from_bandwidth(self):
+        times = {}
+        idx = np.random.default_rng(0).integers(0, 1 << 18, 1 << 18)
+        for label, spec in (
+            ("base", V100),
+            ("fat", replace(V100, mem_bandwidth_gbps=1800.0)),
+        ):
+            dev = GPUDevice(spec)
+            arr = dev.alloc(np.zeros(1 << 18))
+            with dev.launch("flat") as k:
+                k.gather(arr, idx, grid_stride(idx.size, 8192))
+            times[label] = dev.time_s - spec.kernel_launch_s
+        assert times["fat"] < times["base"] * 0.75
+
+
+class TestEmergentPlatformRatio:
+    def test_v100_t4_ratio_in_datasheet_band(self):
+        """On a memory-bound workload the platform ratio equals the
+        bandwidth ratio (900/320 = 2.8) — no tuning anywhere."""
+        from repro.gpusim import T4
+
+        t_v = kernel_time(V100, mem_bound(), 0)
+        t_t = kernel_time(T4, mem_bound(), 0)
+        assert t_t / t_v == pytest.approx(900.0 / 320.0, rel=1e-6)

@@ -1,0 +1,129 @@
+"""Tests for the vertex-partitioning strategies."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import (
+    block_partition,
+    degree_balanced_partition,
+    edge_balanced_partition,
+    kronecker,
+    largest_component_vertices,
+    partition_edge_counts,
+    partition_imbalance,
+    random_partition,
+    star,
+)
+from repro.gpusim import V100, multi_gpu_sssp
+from repro.sssp import validate_distances
+
+SPEC = V100.scaled_for_workload(1 / 64)
+
+
+class TestStrategies:
+    def test_block_contiguous_and_complete(self):
+        owner = block_partition(10, 3)
+        assert owner.size == 10
+        assert list(owner) == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2]
+
+    def test_block_more_parts_than_vertices(self):
+        owner = block_partition(2, 5)
+        assert owner.max() < 5
+
+    def test_edge_balanced_beats_block_on_powerlaw(self):
+        g = kronecker(10, 8, weights="int", seed=110)
+        blk = partition_imbalance(g, block_partition(g.num_vertices, 4))
+        edge = partition_imbalance(g, edge_balanced_partition(g, 4))
+        assert edge <= blk + 1e-9
+        assert edge < 1.2
+
+    def test_edge_balanced_on_edgeless(self):
+        from repro.graphs import CSRGraph
+
+        g = CSRGraph(row=np.zeros(6, dtype=np.int64), adj=np.array([]),
+                     weights=np.array([]))
+        owner = edge_balanced_partition(g, 2)
+        assert owner.size == 5
+
+    def test_degree_balanced_is_best(self):
+        g = star(100)  # one hub: degree-balanced must isolate it sensibly
+        deg = partition_imbalance(g, degree_balanced_partition(g, 4))
+        blk = partition_imbalance(g, block_partition(g.num_vertices, 4))
+        assert deg <= blk
+
+    def test_random_deterministic_by_seed(self):
+        a = random_partition(100, 4, seed=1)
+        b = random_partition(100, 4, seed=1)
+        c = random_partition(100, 4, seed=2)
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+    def test_edge_counts_sum_to_m(self):
+        g = kronecker(8, 6, weights="int", seed=111)
+        for owner in (
+            block_partition(g.num_vertices, 3),
+            edge_balanced_partition(g, 3),
+            degree_balanced_partition(g, 3),
+        ):
+            assert partition_edge_counts(g, owner).sum() == g.num_edges
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            block_partition(10, 0)
+        with pytest.raises(ValueError):
+            random_partition(10, 0)
+
+    def test_imbalance_of_empty(self):
+        from repro.graphs import CSRGraph
+
+        g = CSRGraph(row=np.array([0]), adj=np.array([]), weights=np.array([]))
+        assert partition_imbalance(g, np.zeros(0, dtype=np.int64)) == 1.0
+
+
+class TestMultiGpuPartitions:
+    @pytest.mark.parametrize(
+        "strategy", ["block", "edge-balanced", "random", "degree-balanced"]
+    )
+    def test_all_strategies_correct(self, strategy):
+        g = kronecker(8, 8, weights="int", seed=112)
+        src = int(largest_component_vertices(g)[0])
+        r = multi_gpu_sssp(
+            g, src, num_gpus=4, spec=SPEC, partition=strategy
+        )
+        validate_distances(g, src, r.dist)
+
+    def test_explicit_owner_array(self):
+        g = kronecker(7, 6, weights="int", seed=113)
+        src = int(largest_component_vertices(g)[0])
+        owner = random_partition(g.num_vertices, 2, seed=9)
+        r = multi_gpu_sssp(g, src, num_gpus=2, spec=SPEC, partition=owner)
+        validate_distances(g, src, r.dist)
+
+    def test_invalid_strategy(self):
+        g = kronecker(6, 4, weights="int", seed=114)
+        with pytest.raises(ValueError, match="unknown partition"):
+            multi_gpu_sssp(g, 0, num_gpus=2, spec=SPEC, partition="metis")
+
+    def test_invalid_owner_array(self):
+        g = kronecker(6, 4, weights="int", seed=115)
+        with pytest.raises(ValueError):
+            multi_gpu_sssp(
+                g, 0, num_gpus=2, spec=SPEC,
+                partition=np.zeros(3, dtype=np.int64),
+            )
+        with pytest.raises(ValueError):
+            multi_gpu_sssp(
+                g, 0, num_gpus=2, spec=SPEC,
+                partition=np.full(g.num_vertices, 7, dtype=np.int64),
+            )
+
+    def test_balanced_partition_not_slower(self):
+        """On a hub-heavy graph the edge-balanced partition's slowest GPU
+        does no more work than the block partition's."""
+        g = kronecker(10, 8, weights="int", seed=116)
+        src = int(largest_component_vertices(g)[0])
+        blk = multi_gpu_sssp(g, src, num_gpus=4, spec=SPEC, partition="block")
+        bal = multi_gpu_sssp(
+            g, src, num_gpus=4, spec=SPEC, partition="edge-balanced"
+        )
+        assert bal.compute_time_ms <= blk.compute_time_ms * 1.25

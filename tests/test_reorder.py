@@ -1,0 +1,175 @@
+"""Tests for property-driven reordering (PRO, paper §4.1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import from_edges, kronecker, paper_fig4_graph
+from repro.reorder import (
+    apply_permutation,
+    apply_pro,
+    attach_heavy_offsets,
+    compute_heavy_offsets,
+    degree_order,
+    pro_report,
+    recompute_offsets,
+    reorder_by_degree,
+    sort_adjacency_by_weight,
+)
+from repro.sssp import dijkstra
+
+
+def random_graph(seed: int, n: int = 30, m: int = 120):
+    rng = np.random.default_rng(seed)
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    w = rng.integers(1, 50, m).astype(float)
+    return from_edges(src, dst, w, num_vertices=n, symmetrize=True)
+
+
+class TestDegreeOrder:
+    def test_descending_and_stable(self):
+        g = paper_fig4_graph()
+        # paper: "we reorder the original vertex id from 0,1,2,3,4 to
+        # reorder vertex id 1,3,4,0,2"
+        assert list(degree_order(g)) == [1, 3, 4, 0, 2]
+
+    def test_permutation_topology_preserved(self):
+        g = random_graph(0)
+        rg = reorder_by_degree(g)
+        orig = {(u, v): w for u, v, w in g.iter_edges()}
+        back = {
+            (int(rg.new_to_old[u]), int(rg.new_to_old[v])): w
+            for u, v, w in rg.iter_edges()
+        }
+        assert orig == back
+
+    def test_degrees_monotone_after_reorder(self):
+        g = random_graph(1)
+        rg = reorder_by_degree(g)
+        assert np.all(np.diff(rg.degrees) <= 0)
+
+    def test_invalid_permutation_rejected(self):
+        g = random_graph(2)
+        with pytest.raises(ValueError):
+            apply_permutation(g, np.zeros(g.num_vertices, dtype=np.int64))
+        with pytest.raises(ValueError):
+            apply_permutation(g, np.arange(g.num_vertices - 1))
+
+    def test_composition_of_permutations(self):
+        """Reordering twice still maps back to the first id space."""
+        g = random_graph(3)
+        once = reorder_by_degree(g)
+        twice = reorder_by_degree(once)
+        vals = np.arange(g.num_vertices, dtype=float)
+        # to_original_order of identity-permuted values must invert exactly
+        marked = vals.copy()
+        out = twice.to_original_order(marked[np.argsort(np.argsort(marked))])
+        assert out.shape == vals.shape
+
+    def test_distances_equivalent_after_reorder(self):
+        g = random_graph(4)
+        rg = reorder_by_degree(g)
+        src = 0
+        d_orig = dijkstra(g, src).dist
+        d_re = dijkstra(rg, int(rg.old_to_new[src])).dist
+        assert np.allclose(rg.to_original_order(d_re), d_orig)
+
+
+class TestWeightSort:
+    def test_segments_sorted(self):
+        g = random_graph(5)
+        sg = sort_adjacency_by_weight(g)
+        for u in range(sg.num_vertices):
+            w = sg.edge_weights(u)
+            assert np.all(np.diff(w) >= 0)
+
+    def test_edge_multiset_preserved(self):
+        g = random_graph(6)
+        sg = sort_adjacency_by_weight(g)
+        assert sorted(g.iter_edges()) == sorted(sg.iter_edges())
+
+    def test_empty_graph_noop(self):
+        g = from_edges(np.array([]), np.array([]), np.array([]), num_vertices=3)
+        assert sort_adjacency_by_weight(g) is g
+
+
+class TestHeavyOffsets:
+    def test_requires_sorted(self):
+        g = from_edges(
+            np.array([0, 0]), np.array([1, 2]), np.array([9.0, 1.0]),
+            num_vertices=3, dedup=False,
+        )
+        with pytest.raises(ValueError, match="not weight-sorted"):
+            compute_heavy_offsets(g, 5.0)
+
+    def test_offsets_split_correctly(self):
+        g = sort_adjacency_by_weight(random_graph(7))
+        delta = 25.0
+        off = compute_heavy_offsets(g, delta)
+        for u in range(g.num_vertices):
+            lo, hi = g.row[u], g.row[u + 1]
+            k = off[u]
+            assert lo <= k <= hi
+            assert np.all(g.weights[lo:k] < delta)
+            assert np.all(g.weights[k:hi] >= delta)
+
+    def test_delta_must_be_positive(self):
+        g = sort_adjacency_by_weight(random_graph(8))
+        with pytest.raises(ValueError):
+            compute_heavy_offsets(g, 0.0)
+
+    def test_attach_and_recompute(self):
+        g = attach_heavy_offsets(sort_adjacency_by_weight(random_graph(9)), 10.0)
+        assert g.delta == 10.0
+        g2 = recompute_offsets(g, 40.0)
+        assert g2.delta == 40.0
+        assert np.all(g2.heavy_offsets >= g.heavy_offsets)
+
+    def test_recompute_requires_offsets(self):
+        g = random_graph(10)
+        with pytest.raises(ValueError):
+            recompute_offsets(g, 5.0)
+
+    @given(delta=st.floats(0.5, 60.0))
+    @settings(max_examples=25, deadline=None)
+    def test_light_degree_counts(self, delta):
+        g = sort_adjacency_by_weight(random_graph(11))
+        g = attach_heavy_offsets(g, delta)
+        expected = np.array(
+            [int((g.edge_weights(u) < delta).sum()) for u in range(g.num_vertices)]
+        )
+        assert np.array_equal(g.light_degrees(), expected)
+
+
+class TestPipeline:
+    def test_fig4_exact_reproduction(self):
+        """apply_pro reproduces the paper's Fig. 4(c) arrays verbatim."""
+        g = apply_pro(paper_fig4_graph(), delta=3.0)
+        assert list(g.new_to_old) == [1, 3, 4, 0, 2]
+        assert list(g.row) == [0, 4, 7, 10, 12, 14]
+        assert list(g.heavy_offsets) == [2, 5, 9, 11, 14]
+        assert list(g.adj) == [4, 3, 2, 1, 2, 0, 3, 4, 1, 0, 0, 1, 0, 2]
+        assert list(g.weights) == [1, 2, 4, 5, 2, 5, 9, 1, 2, 4, 2, 9, 1, 1]
+
+    def test_toggles(self):
+        g = random_graph(12)
+        assert apply_pro(g, 5.0, degree_reorder=False, weight_sort=False) is g
+        only_sort = apply_pro(g, 5.0, degree_reorder=False)
+        assert only_sort.new_to_old is None
+        assert only_sort.heavy_offsets is not None
+
+    def test_distances_preserved_by_pro(self):
+        g = random_graph(13)
+        pg = apply_pro(g, 10.0)
+        d0 = dijkstra(g, 2).dist
+        d1 = dijkstra(pg, int(pg.old_to_new[2])).dist
+        assert np.allclose(pg.to_original_order(d1), d0)
+
+    def test_pro_report_reduces_mixed_pairs(self):
+        g = kronecker(8, 8, weights="int", seed=3)
+        rep = pro_report(g, delta=300.0)
+        # weight sorting leaves at most one light/heavy flip per segment
+        assert rep.mixed_pairs_after <= rep.mixed_pairs_before
+        assert rep.locality_gain > 0

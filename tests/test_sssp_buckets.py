@@ -1,0 +1,92 @@
+"""Tests for bucket arithmetic and the Eq. 1–2 dynamic-Δ controller."""
+
+import numpy as np
+import pytest
+
+from repro.sssp import BucketInterval, DeltaController, bucket_of
+
+
+class TestBucketOf:
+    def test_mapping(self):
+        d = np.array([0.0, 0.05, 0.1, 0.25, np.inf])
+        assert list(bucket_of(d, 0.1)) == [0, 0, 1, 2, -1]
+
+    def test_all_inf(self):
+        assert list(bucket_of(np.array([np.inf, np.inf]), 1.0)) == [-1, -1]
+
+
+class TestDeltaController:
+    def test_first_two_buckets_fixed(self):
+        """'The Δ0 and Δ1 value of the first and second buckets are fixed.'"""
+        c = DeltaController(10.0)
+        i0 = c.next_interval()
+        c.feedback(100, 50)
+        i1 = c.next_interval()
+        assert (i0.lo, i0.hi) == (0.0, 10.0)
+        assert (i1.lo, i1.hi) == (10.0, 20.0)
+        assert c.epsilons == [0.0, 0.0]
+
+    def test_epsilon_formula_hand_computed(self):
+        """Eq. 1 with C = (100, 300), T = (50, 150):
+        eps_2 = |100-300|/400 * (50-150)/200 * 10 = 0.5 * (-0.5) * 10 = -2.5
+        """
+        c = DeltaController(10.0)
+        c.next_interval()
+        c.feedback(100, 50)
+        c.next_interval()
+        c.feedback(300, 150)
+        i2 = c.next_interval()
+        assert c.epsilons[2] == pytest.approx(-2.5)
+        assert i2.width == pytest.approx(7.5)
+        assert i2.lo == pytest.approx(20.0)
+
+    def test_delta_grows_when_utilization_falls(self):
+        """T falling (T_{i-2} > T_{i-1}) makes the second factor positive."""
+        c = DeltaController(10.0)
+        c.next_interval()
+        c.feedback(300, 200)
+        c.next_interval()
+        c.feedback(100, 50)
+        i2 = c.next_interval()
+        assert c.epsilons[2] > 0
+        assert i2.width > 10.0
+
+    def test_zero_feedback_keeps_width(self):
+        c = DeltaController(10.0)
+        c.next_interval()
+        c.feedback(0, 0)
+        c.next_interval()
+        c.feedback(0, 0)
+        i2 = c.next_interval()
+        assert i2.width == 10.0
+
+    def test_width_clamped(self):
+        c = DeltaController(10.0, min_delta=8.0, max_delta=12.0)
+        c.next_interval()
+        c.feedback(1000, 1)
+        c.next_interval()
+        c.feedback(1, 1000)  # big negative epsilon
+        i2 = c.next_interval()
+        assert i2.width >= 8.0
+
+    def test_epsilon_requires_history(self):
+        c = DeltaController(10.0)
+        with pytest.raises(ValueError):
+            c.epsilon(2)
+
+    def test_invalid_delta0(self):
+        with pytest.raises(ValueError):
+            DeltaController(0.0)
+
+    def test_intervals_are_contiguous(self):
+        c = DeltaController(5.0)
+        prev_hi = 0.0
+        for i in range(6):
+            iv = c.next_interval()
+            assert iv.lo == pytest.approx(prev_hi)
+            assert iv.index == i
+            prev_hi = iv.hi
+            c.feedback(10 * (i + 1), 5 * (i + 2))
+
+    def test_interval_width_property(self):
+        assert BucketInterval(0, 2.0, 5.5).width == pytest.approx(3.5)

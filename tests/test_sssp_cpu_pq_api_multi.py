@@ -1,0 +1,109 @@
+"""Tests for PQ-Δ*, the sssp() front door, and the multi-GPU prototype."""
+
+import numpy as np
+import pytest
+
+from repro.graphs import kronecker, grid_road_network, path
+from repro.gpusim import V100, multi_gpu_sssp
+from repro.sssp import (
+    CPUSpec,
+    XEON_8269CY,
+    method_names,
+    pq_delta_star_sssp,
+    sssp,
+    validate_distances,
+)
+
+SPEC = V100.scaled_for_workload(1 / 64)
+
+
+class TestPqDeltaStar:
+    def test_correct_on_kron(self):
+        g = kronecker(8, 6, weights="int", seed=30)
+        r = pq_delta_star_sssp(g, 0)
+        validate_distances(g, 0, r.dist)
+
+    def test_correct_on_road(self):
+        g = grid_road_network(10, 10, seed=31)
+        r = pq_delta_star_sssp(g, 0)
+        validate_distances(g, 0, r.dist)
+
+    def test_cost_model_monotone_in_work(self):
+        cpu = XEON_8269CY
+        assert cpu.batch_time(2000, 10) > cpu.batch_time(1000, 10)
+        assert cpu.batch_time(0, 0) == pytest.approx(cpu.batch_overhead_s)
+
+    def test_more_cores_faster(self):
+        g = kronecker(7, 6, weights="int", seed=32)
+        fast = CPUSpec("big", 52, 104, 55e-9, 20e-9, 3e-6, 0.55)
+        slow = CPUSpec("small", 4, 8, 55e-9, 20e-9, 3e-6, 0.55)
+        t_fast = pq_delta_star_sssp(g, 0, cpu=fast).time_ms
+        t_slow = pq_delta_star_sssp(g, 0, cpu=slow).time_ms
+        assert t_slow > t_fast
+
+    def test_records_batches(self):
+        g = path(20)
+        r = pq_delta_star_sssp(g, 0, delta=2.0)
+        assert r.extra["batches"] >= 1
+        assert r.extra["cpu"] == "Xeon-8269CY"
+
+    def test_source_validation(self):
+        with pytest.raises(ValueError):
+            pq_delta_star_sssp(path(4), -1)
+
+
+class TestApi:
+    def test_all_methods_registered_and_correct(self):
+        g = kronecker(7, 6, weights="int", seed=33)
+        for m in method_names():
+            r = sssp(g, 0, method=m)
+            validate_distances(g, 0, r.dist)
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            sssp(path(4), 0, method="quantum")
+
+    def test_kwargs_forwarded(self):
+        g = kronecker(6, 4, weights="int", seed=34)
+        r = sssp(g, 0, method="rdbs", spec=SPEC, delta=500.0)
+        assert r.extra["delta0"] == 500.0
+
+    def test_default_method_is_rdbs(self):
+        g = path(6)
+        assert sssp(g, 0).method == "rdbs"
+
+
+class TestMultiGPU:
+    def test_correct_for_any_gpu_count(self):
+        g = kronecker(8, 6, weights="int", seed=35)
+        for ng in (1, 2, 3, 8):
+            r = multi_gpu_sssp(g, 0, num_gpus=ng, spec=SPEC)
+            validate_distances(g, 0, r.dist)
+            assert r.num_gpus == ng
+
+    def test_exchange_only_with_multiple_gpus(self):
+        g = kronecker(7, 6, weights="int", seed=36)
+        single = multi_gpu_sssp(g, 0, num_gpus=1, spec=SPEC)
+        multi = multi_gpu_sssp(g, 0, num_gpus=4, spec=SPEC)
+        assert single.exchanged_messages == 0
+        assert single.exchange_time_ms == 0.0
+        assert multi.exchanged_messages > 0
+        assert 0 < multi.exchange_fraction <= 1.0
+
+    def test_interconnect_bandwidth_matters(self):
+        g = kronecker(8, 8, weights="int", seed=37)
+        slow = multi_gpu_sssp(g, 0, num_gpus=4, spec=SPEC, interconnect_gbps=1.0)
+        fast = multi_gpu_sssp(g, 0, num_gpus=4, spec=SPEC, interconnect_gbps=300.0)
+        assert slow.exchange_time_ms > fast.exchange_time_ms
+
+    def test_invalid_args(self):
+        g = path(4)
+        with pytest.raises(ValueError):
+            multi_gpu_sssp(g, 99)
+        with pytest.raises(ValueError):
+            multi_gpu_sssp(g, 0, num_gpus=0)
+
+    def test_supersteps_counted(self):
+        g = path(12)
+        r = multi_gpu_sssp(g, 0, num_gpus=2, spec=SPEC)
+        assert r.supersteps >= 11

@@ -1,0 +1,116 @@
+"""Property-based tests for the shared segmented-scan primitives."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.util import (
+    segmented_arange,
+    segmented_exclusive_cummin,
+    serialized_min_outcome,
+)
+
+
+class TestSegmentedArange:
+    def test_empty(self):
+        assert segmented_arange(np.array([], dtype=np.int64)).size == 0
+
+    def test_zeros(self):
+        assert segmented_arange(np.array([0, 0, 0])).size == 0
+
+    @given(st.lists(st.integers(0, 20), max_size=30))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference(self, counts):
+        counts = np.array(counts, dtype=np.int64)
+        expected = np.concatenate(
+            [np.arange(c) for c in counts] or [np.zeros(0, dtype=np.int64)]
+        )
+        assert np.array_equal(segmented_arange(counts), expected)
+
+
+def _reference_excl_cummin(values, seg_start):
+    out = np.empty(len(values))
+    running = np.inf
+    for i, (v, s) in enumerate(zip(values, seg_start)):
+        if s:
+            running = np.inf
+        out[i] = running
+        running = min(running, v)
+    return out
+
+
+class TestSegmentedExclusiveCummin:
+    def test_empty(self):
+        out = segmented_exclusive_cummin(np.array([]), np.array([], dtype=bool))
+        assert out.size == 0
+
+    def test_single_segment(self):
+        vals = np.array([3.0, 1.0, 2.0, 0.5])
+        start = np.array([True, False, False, False])
+        out = segmented_exclusive_cummin(vals, start)
+        assert out[0] == np.inf
+        assert list(out[1:]) == [3.0, 1.0, 1.0]
+
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.booleans()),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_loop_reference(self, items):
+        vals = np.array([v for v, _ in items])
+        start = np.array([s for _, s in items])
+        start[0] = True  # first element always begins a segment
+        got = segmented_exclusive_cummin(vals, start)
+        ref = _reference_excl_cummin(vals, start)
+        assert np.array_equal(got, ref)
+
+
+def _reference_atomic_min(current, idx, vals):
+    """Sequential atomicMin semantics in program order."""
+    cur = current.copy()
+    old = np.empty(len(idx))
+    updated = np.zeros(len(idx), dtype=bool)
+    for i, (a, v) in enumerate(zip(idx, vals)):
+        old[i] = cur[a]
+        if v < cur[a]:
+            cur[a] = v
+            updated[i] = True
+    return cur, old, updated
+
+
+class TestSerializedMinOutcome:
+    def test_empty(self):
+        cur = np.array([1.0, 2.0])
+        old, upd = serialized_min_outcome(cur, np.array([], dtype=np.int64), np.array([]))
+        assert old.size == 0 and upd.size == 0
+
+    def test_duplicates_serialize_in_program_order(self):
+        cur = np.array([10.0])
+        idx = np.array([0, 0, 0])
+        vals = np.array([5.0, 7.0, 3.0])
+        old, upd = serialized_min_outcome(cur, idx, vals)
+        assert list(old) == [10.0, 5.0, 5.0]
+        assert list(upd) == [True, False, True]
+        assert cur[0] == 3.0
+
+    @given(
+        n_cells=st.integers(1, 8),
+        ops=st.lists(
+            st.tuples(st.integers(0, 7), st.floats(0, 50)), max_size=60
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_sequential_reference(self, n_cells, ops):
+        rng = np.random.default_rng(0)
+        cur1 = rng.uniform(10, 40, n_cells)
+        cur2 = cur1.copy()
+        idx = np.array([a % n_cells for a, _ in ops], dtype=np.int64)
+        vals = np.array([v for _, v in ops])
+        ref_cur, ref_old, ref_upd = _reference_atomic_min(cur1, idx, vals)
+        old, upd = serialized_min_outcome(cur2, idx, vals)
+        assert np.allclose(cur2, ref_cur)
+        assert np.allclose(old, ref_old)
+        assert np.array_equal(upd, ref_upd)
