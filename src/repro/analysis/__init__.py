@@ -1,0 +1,41 @@
+"""Correctness analysis for the simulated GPU: dynamic sanitizer + lint.
+
+Two cooperating halves, both reachable from the CLI:
+
+* :mod:`repro.analysis.sanitizer` — a ``compute-sanitizer``-style dynamic
+  race/hazard checker that observes every gather/scatter/atomic a
+  :class:`~repro.gpusim.GPUDevice` executes (``python -m repro.cli
+  sanitize``);
+* :mod:`repro.analysis.lint` — ``repro-lint``, an AST pass enforcing the
+  kernel-authoring idiom (every device access through ``KernelContext``)
+  plus generic hygiene (``python -m repro.cli lint``).
+
+The paper's BASYN design (§4.3) *depends* on races being benign — barriers
+are dropped and relaxations collide on ``atomicMin`` because distance
+updates are monotone.  The sanitizer turns that prose argument into a
+mechanical check: atomics may race reads freely, but plain-store races,
+non-monotone distance updates and settled-vertex reactivations are flagged.
+"""
+
+from .driver import sanitized_sssp
+from .lint import DEFAULT_EXEMPT, LintFinding, lint_paths, lint_source
+from .sanitizer import (
+    Finding,
+    Sanitizer,
+    SanitizerError,
+    SanitizerReport,
+    attached,
+)
+
+__all__ = [
+    "Finding",
+    "Sanitizer",
+    "SanitizerError",
+    "SanitizerReport",
+    "attached",
+    "sanitized_sssp",
+    "LintFinding",
+    "lint_source",
+    "lint_paths",
+    "DEFAULT_EXEMPT",
+]

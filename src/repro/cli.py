@@ -6,6 +6,8 @@ Commands
 ``compare``   run several methods on one graph, print a comparison table
 ``profile``   run one method and print the kernel timeline / bottlenecks
 ``datasets``  list the bundled Table-1 surrogate datasets
+``sanitize``  run one method under the hazard sanitizer and report findings
+``lint``      statically check kernel-authoring rules (repro-lint)
 
 Graphs are specified with a compact ``kind:args`` syntax::
 
@@ -172,6 +174,46 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _cmd_sanitize(args) -> int:
+    """Run one method under the dynamic hazard sanitizer."""
+    from .analysis import sanitized_sssp
+
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    source = _pick_source(graph, args.source)
+    r, report = sanitized_sssp(
+        graph, source, method=args.method,
+        strict=args.strict, **_gpu_kwargs(args, args.method),
+    )
+    if not args.no_validate:
+        validate_distances(graph, source, r.dist)
+    print(f"graph   : {graph}")
+    print(f"method  : {r.method}")
+    print(f"checked : {report.kernels_checked} window(s), "
+          f"{report.accesses_checked} access(es), "
+          f"{len(report.errors)} hazard(s), {len(report.warnings)} warning(s)")
+    shown = report.findings if args.warnings else report.errors
+    for f in shown:
+        print(f"  {f}")
+    if report.dropped:
+        print(f"  ... {report.dropped} further finding(s) dropped")
+    return 1 if report.errors else 0
+
+
+def _cmd_lint(args) -> int:
+    """Static kernel-authoring lint over python sources."""
+    from .analysis import lint_paths
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"no such file or directory: {', '.join(missing)}")
+    findings = lint_paths(args.paths)
+    for f in findings:
+        print(f"{f.path}:{f.line}: {f.rule} {f.message}")
+    n = len(findings)
+    print(f"{n} finding(s)" if n else "clean ✓")
+    return 1 if n else 0
+
+
 def _cmd_selfcheck(_args) -> int:
     """Quick end-to-end health check: every method on one small graph."""
     g = kronecker(8, 8, weights="int", seed=0)
@@ -248,6 +290,24 @@ def build_parser() -> argparse.ArgumentParser:
     common(sp)
     sp.add_argument("--method", default="rdbs", choices=method_names())
     sp.set_defaults(fn=_cmd_profile)
+
+    sp = sub.add_parser(
+        "sanitize", help="run one method under the hazard sanitizer"
+    )
+    common(sp)
+    sp.add_argument("--method", default="rdbs", choices=method_names())
+    sp.add_argument("--strict", action="store_true",
+                    help="raise on the first hazard instead of collecting")
+    sp.add_argument("--warnings", action="store_true",
+                    help="also print benign (warning-level) findings")
+    sp.set_defaults(fn=_cmd_sanitize)
+
+    sp = sub.add_parser(
+        "lint", help="static kernel-authoring lint (repro-lint)"
+    )
+    sp.add_argument("paths", nargs="*", default=["src/repro"],
+                    help="files or directories (default: src/repro)")
+    sp.set_defaults(fn=_cmd_lint)
 
     sp = sub.add_parser("datasets", help="list bundled dataset surrogates")
     sp.set_defaults(fn=_cmd_datasets)

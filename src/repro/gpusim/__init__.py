@@ -12,7 +12,13 @@ datasheet numbers.
 from .cachemodel import CacheModel, reuse_gaps
 from .compaction import compact
 from .counters import DeviceCounters, KernelCounters
-from .device import GPUDevice, KernelContext, subset_assignment
+from .device import (
+    GPUDevice,
+    KernelContext,
+    register_global_observer,
+    subset_assignment,
+    unregister_global_observer,
+)
 from .dynamic import (
     ALPHA,
     BETA,
@@ -39,6 +45,8 @@ __all__ = [
     "GPUDevice",
     "KernelContext",
     "subset_assignment",
+    "register_global_observer",
+    "unregister_global_observer",
     "GPUSpec",
     "V100",
     "T4",

@@ -43,7 +43,30 @@ from .spec import GPUSpec, V100
 from .timemodel import kernel_time
 from ..util.scan import serialized_min_outcome
 
-__all__ = ["GPUDevice", "KernelContext", "subset_assignment"]
+__all__ = [
+    "GPUDevice",
+    "KernelContext",
+    "subset_assignment",
+    "register_global_observer",
+    "unregister_global_observer",
+]
+
+#: observers automatically attached to every :class:`GPUDevice` created
+#: after registration — how analysis tools (repro.analysis.Sanitizer)
+#: reach devices that algorithms construct internally
+_GLOBAL_OBSERVERS: list = []
+
+
+def register_global_observer(observer) -> None:
+    """Attach ``observer`` to every subsequently created device."""
+    if observer not in _GLOBAL_OBSERVERS:
+        _GLOBAL_OBSERVERS.append(observer)
+
+
+def unregister_global_observer(observer) -> None:
+    """Stop auto-attaching ``observer`` to new devices."""
+    if observer in _GLOBAL_OBSERVERS:
+        _GLOBAL_OBSERVERS.remove(observer)
 
 
 def subset_assignment(assignment: WorkAssignment, mask: np.ndarray) -> WorkAssignment:
@@ -112,6 +135,7 @@ class KernelContext:
         self._load_lines.append(lines)
         self.critical_instructions += a.max_steps
         self._note_assignment(a, instructions)
+        self.device._notify("on_access", self, "read", arr, idx, None, a)
         return arr.data[idx]
 
     def scatter(
@@ -134,6 +158,7 @@ class KernelContext:
         c.global_store_transactions += transactions
         self.critical_instructions += a.max_steps
         self._note_assignment(a, instructions)
+        self.device._notify("on_access", self, "write", arr, idx, values, a)
         arr.data[idx] = values
 
     def atomic_min(
@@ -173,6 +198,7 @@ class KernelContext:
         unique_addresses = int(np.unique(idx).size)
         c.atomic_conflicts += n - unique_addresses
 
+        self.device._notify("on_access", self, "atomic_min", arr, idx, values, a)
         # serialize per address in program order (see util.scan)
         return serialized_min_outcome(arr.data, idx, values)
 
@@ -205,6 +231,7 @@ class KernelContext:
         self._note_assignment(a, instructions)
         if n:
             c.atomic_conflicts += n - int(np.unique(idx).size)
+            self.device._notify("on_access", self, "atomic_add", arr, idx, values, a)
             np.add.at(arr.data, idx, values)
 
     # ------------------------------------------------------------------
@@ -266,6 +293,7 @@ class KernelContext:
         """A device-wide synchronization inside a fused kernel."""
         self.counters.barriers += 1
         self._extra_time += self.device.spec.barrier_s
+        self.device._notify("on_device_barrier", self.device, self)
 
     def async_round(self, count: int = 1) -> None:
         """Account asynchronous work-list scheduling rounds (no barrier)."""
@@ -282,6 +310,9 @@ class GPUDevice:
         self.cache = CacheModel(spec)
         self.counters = DeviceCounters()
         self.time_s = 0.0
+        #: attached analysis observers (see repro.analysis); duck-typed —
+        #: each event calls the observer method of the same name if present
+        self.observers: list = list(_GLOBAL_OBSERVERS)
         # carry-over window: the tail of the previous launches' transaction
         # stream.  Physically this is the persistence of the cache hierarchy
         # across back-to-back kernel launches (L1 is flushed but L2 is not):
@@ -295,12 +326,33 @@ class GPUDevice:
         self.timeline = Timeline(spec)
 
     # ------------------------------------------------------------------
+    # observation
+    # ------------------------------------------------------------------
+    def _notify(self, event: str, *args) -> None:
+        """Dispatch ``event`` to every attached observer that handles it."""
+        if not self.observers:
+            return
+        for obs in self.observers:
+            fn = getattr(obs, event, None)
+            if fn is not None:
+                fn(*args)
+
+    def annotate(self, tag: str, **payload) -> None:
+        """Publish an algorithm-level fact (bucket boundaries, settled sets,
+        …) to the attached observers.  A no-op without observers; engines
+        use it to give analysis tools semantic context the raw access
+        stream cannot carry."""
+        self._notify("on_annotate", self, tag, payload)
+
+    # ------------------------------------------------------------------
     # memory management
     # ------------------------------------------------------------------
     def alloc(self, array: np.ndarray, name: str = "buf") -> DeviceArray:
         """Allocate device storage initialized from ``array`` (copied)."""
         data = np.array(array, copy=True)
-        return DeviceArray(data, self.allocator.allocate(data.nbytes), name)
+        arr = DeviceArray(data, self.allocator.allocate(data.nbytes), name)
+        self._notify("on_alloc", self, arr, True)
+        return arr
 
     def zeros(self, n: int, dtype=np.float64, name: str = "buf") -> DeviceArray:
         """Allocate an ``n``-element zeroed device array."""
@@ -310,9 +362,49 @@ class GPUDevice:
         """Allocate an ``n``-element device array filled with ``value``."""
         return self.alloc(np.full(n, value, dtype=dtype), name)
 
+    def empty(self, n: int, dtype=np.float64, name: str = "buf") -> DeviceArray:
+        """Allocate ``n`` elements of *uninitialized* device memory.
+
+        Like ``cudaMalloc``, the contents are undefined until written; the
+        storage is poisoned with a sentinel (NaN for floats, the dtype
+        minimum for integers) so bugs that consume it surface loudly, and
+        attached sanitizers track reads of never-written elements.
+        """
+        dtype = np.dtype(dtype)
+        poison = np.nan if dtype.kind == "f" else np.iinfo(dtype).min
+        data = np.full(n, poison, dtype=dtype)
+        arr = DeviceArray(data, self.allocator.allocate(data.nbytes), name)
+        self._notify("on_alloc", self, arr, False)
+        return arr
+
     def upload(self, array: np.ndarray, name: str = "buf") -> DeviceArray:
         """Wrap a (read-only) host array as device memory without copying."""
-        return DeviceArray(np.asarray(array), self.allocator.allocate(array.nbytes), name)
+        arr = DeviceArray(
+            np.asarray(array), self.allocator.allocate(array.nbytes), name
+        )
+        self._notify("on_alloc", self, arr, True)
+        return arr
+
+    def host_store(self, arr: DeviceArray, idx, values) -> None:
+        """Host-side staging write ``arr[idx] = values`` outside any kernel.
+
+        The sanctioned way to initialize device cells from the host (the
+        ``dist[source] = 0`` idiom): it is visible to attached observers,
+        unlike a raw mutation of ``arr.data``, which ``repro-lint`` flags.
+        Charged no simulated time — host staging happens before the
+        measured region, matching the paper's methodology.
+        """
+        idx = np.atleast_1d(np.asarray(idx, dtype=np.int64))
+        self._notify("on_host_write", self, arr, idx, values)
+        arr.data[idx] = values
+
+    def host_copy(self, arr: DeviceArray, values: np.ndarray) -> None:
+        """Host-driven overwrite of a whole device array (uncounted)."""
+        self._notify(
+            "on_host_write", self, arr,
+            np.arange(arr.size, dtype=np.int64), values,
+        )
+        arr.data[...] = values
 
     # ------------------------------------------------------------------
     # execution
@@ -323,7 +415,9 @@ class GPUDevice:
         ctx = KernelContext(self, name)
         if host_launch:
             ctx.counters.kernel_launches += 1
+        self._notify("on_kernel_begin", self, ctx)
         yield ctx
+        self._notify("on_kernel_end", self, ctx)
         # resolve cache behaviour for the whole launch's load stream,
         # warmed by the tail of the preceding launches (L2 persistence)
         if ctx._load_lines:

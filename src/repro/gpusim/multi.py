@@ -176,7 +176,7 @@ def multi_gpu_sssp(
             )
             # every device applies the merged updates to its mirror
             for g in range(num_gpus):
-                dev_dist[g].data[:] = dist
+                devices[g].host_copy(dev_dist[g], dist)
         else:
             improved = np.zeros(0, dtype=np.int64)
             xfer = 0.0

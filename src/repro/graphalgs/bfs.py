@@ -43,13 +43,14 @@ def bfs_gpu(
     device = GPUDevice(spec)
     dgraph = DeviceGraph(device, graph)
     level = device.full(n, np.inf, name="level")
-    level.data[source] = 0.0
+    device.host_store(level, source, 0.0)
     flags = FrontierFlags(device, n)
 
     frontier = np.array([source], dtype=np.int64)
     depth = 0
     while frontier.size:
         depth += 1
+        flags.new_round()
         with device.launch("bfs_expand") as k:
             batch = dgraph.batch(frontier, "all")
             if adaptive:
@@ -83,7 +84,6 @@ def bfs_gpu(
                 if next_parts
                 else np.zeros(0, dtype=np.int64)
             )
-            flags.clear(k, next_frontier)
         device.barrier()
         frontier = next_frontier
 

@@ -79,6 +79,10 @@ def pagerank_gpu(
                 base += damping * float(r[dangling].sum()) / n
             fresh = np.full(n, base)
             k.scatter(next_rank, all_vertices, fresh, a_v)
+            # real implementations split the base init and the edge push
+            # into two kernels: the atomicAdds must not race the plain
+            # base stores.  Model that with a device-wide sync
+            k.device_barrier()
             if m:
                 a_e = grid_stride(m, _THREADS)
                 contrib = np.where(deg > 0, damping * r / np.maximum(deg, 1), 0.0)
@@ -88,7 +92,7 @@ def pagerank_gpu(
                 k.atomic_add(next_rank, v, contrib[src_of_edge], a_e)
         device.barrier()
         delta = float(np.abs(next_rank.data - rank.data).sum())
-        rank.data[:] = next_rank.data
+        device.host_copy(rank, next_rank.data)
         if delta < tol:
             converged = True
             break

@@ -54,7 +54,7 @@ def adds_sssp(
     device = GPUDevice(spec)
     dgraph = DeviceGraph(device, graph)
     dist = device.full(n, np.inf, name="dist")
-    dist.data[source] = 0.0
+    device.host_store(dist, source, 0.0)
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
 
@@ -64,9 +64,11 @@ def adds_sssp(
     in_near = np.zeros(n, dtype=bool)
     in_near[source] = True
     far_mask = np.zeros(n, dtype=bool)
-    # device-resident near worklist and far pile; insertions are stores
-    worklist_buf = device.alloc(np.zeros(n, dtype=np.int64), "near_worklist")
-    far_buf = device.alloc(np.zeros(n, dtype=np.int64), "far_pile")
+    # device-resident near worklist and far pile; insertions are stores.
+    # write-only scratch, so the storage stays uninitialized (cudaMalloc
+    # semantics) — a read before a write is a bug the sanitizer flags
+    worklist_buf = device.empty(n, dtype=np.int64, name="near_worklist")
+    far_buf = device.empty(n, dtype=np.int64, name="far_pile")
     steps = 0
     rounds = 0
     # dynamic-Δ feedback: aim to keep a near set around the device's
@@ -115,18 +117,17 @@ def adds_sssp(
 
                 batch = dgraph.batch(chunk, "all")
                 a = thread_per_vertex_edges(batch.counts)
-                targets, updated = relax_batch(
-                    k, dgraph, dist, chunk, batch, a, stats
-                )
+                out = relax_batch(k, dgraph, dist, chunk, batch, a, stats)
                 k.async_round()
-                if targets.size == 0:
+                if out.targets.size == 0:
                     continue
-                upd = targets[updated]
+                upd = out.targets[out.updated]
                 if upd.size == 0:
                     continue
-                new_dist = dist.data[upd]
-                is_near = new_dist < threshold
-                sub = subset_assignment(a, updated)
+                # classify on the value the winning atomic wrote (register
+                # resident) rather than an un-counted host re-read of dist
+                is_near = out.new_dist[out.updated] < threshold
+                sub = subset_assignment(a, out.updated)
                 k.branch(sub, is_near)
 
                 fresh = np.unique(upd[is_near])

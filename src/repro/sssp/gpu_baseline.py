@@ -40,7 +40,7 @@ def bl_sssp(
     device = GPUDevice(spec)
     dgraph = DeviceGraph(device, graph)
     dist = device.full(n, np.inf, name="dist")
-    dist.data[source] = 0.0
+    device.host_store(dist, source, 0.0)
     flags = FrontierFlags(device, n)
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
@@ -51,6 +51,7 @@ def bl_sssp(
         iterations += 1
         if max_iterations is not None and iterations > max_iterations:
             break
+        flags.new_round()
         with device.launch("bl_relax") as k:
             batch = dgraph.batch(frontier, "all")
             # static load balancing: one thread per active vertex
@@ -63,7 +64,6 @@ def bl_sssp(
                 next_frontier = flags.push(k, targets[updated], sub)
             else:
                 next_frontier = np.zeros(0, dtype=np.int64)
-            flags.clear(k, next_frontier)
         device.barrier()  # synchronous mode: barrier every iteration
         frontier = next_frontier
 

@@ -46,9 +46,9 @@ def harish_narayanan_sssp(
     device = GPUDevice(spec)
     dgraph = DeviceGraph(device, graph)
     dist = device.full(n, np.inf, name="dist")
-    dist.data[source] = 0.0
+    device.host_store(dist, source, 0.0)
     mask = device.zeros(n, dtype=np.int8, name="mask")
-    mask.data[source] = 1
+    device.host_store(mask, source, np.int8(1))
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
 
@@ -76,7 +76,10 @@ def harish_narayanan_sssp(
                 k, dgraph, dist, active, batch, a, stats
             )
             if targets.size and updated.any():
-                upd = np.unique(targets[updated])
+                # the original uses two kernels (relax into an updating-cost
+                # array, then commit) precisely because re-marking races the
+                # mask clear above; model that split with a device-wide sync
+                k.device_barrier()
                 sub_u = subset_assignment(a, updated)
                 k.scatter(
                     mask,
@@ -84,7 +87,6 @@ def harish_narayanan_sssp(
                     np.ones(int(updated.sum()), dtype=np.int8),
                     sub_u,
                 )
-                mask.data[upd] = 1
         device.barrier()
 
     return SSSPResult(

@@ -45,7 +45,7 @@ def nearfar_sssp(
     device = GPUDevice(spec)
     dgraph = DeviceGraph(device, graph)
     dist = device.full(n, np.inf, name="dist")
-    dist.data[source] = 0.0
+    device.host_store(dist, source, 0.0)
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
 
@@ -81,14 +81,13 @@ def nearfar_sssp(
         with device.launch("nearfar_relax") as k:
             batch = dgraph.batch(near, "all")
             a = thread_per_vertex_edges(batch.counts)
-            targets, updated = relax_batch(
-                k, dgraph, dist, near, batch, a, stats
-            )
-            if targets.size:
-                upd_targets = targets[updated]
-                new_dist = dist.data[upd_targets]
-                is_near = new_dist < threshold
-                sub = subset_assignment(a, updated)
+            out = relax_batch(k, dgraph, dist, near, batch, a, stats)
+            if out.targets.size:
+                upd_targets = out.targets[out.updated]
+                # classify on the value the winning atomic wrote — the
+                # register-resident result, not an un-counted dist re-read
+                is_near = out.new_dist[out.updated] < threshold
+                sub = subset_assignment(a, out.updated)
                 k.branch(sub, is_near)
             else:
                 upd_targets = np.zeros(0, dtype=np.int64)

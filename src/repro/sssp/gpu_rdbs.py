@@ -121,13 +121,14 @@ def rdbs_sssp(
     # PRO) with pro=False — it still gets branch-free light/heavy ranges
     use_offsets = dgraph.heavy is not None
     dist = device.full(n, np.inf, name="dist")
-    dist.data[src] = 0.0
+    device.host_store(dist, src, 0.0)
     in_queue = np.zeros(n, dtype=bool)  # host mirror of the queue flags
     # device buffer receiving the compacted next-bucket candidates; sized
     # to the edge count because duplicate updates (several heavy edges
-    # improving one vertex in one pass) each append an entry
-    candidate_buf = device.alloc(
-        np.zeros(max(work_graph.num_edges, 1), dtype=np.int64), "candidates"
+    # improving one vertex in one pass) each append an entry.  Write-only
+    # scratch — left uninitialized (cudaMalloc semantics)
+    candidate_buf = device.empty(
+        max(work_graph.num_edges, 1), dtype=np.int64, name="candidates"
     )
     stats = WorkStats()
     stats.record(np.array([src]), np.array([0.0]), np.array([True]))
@@ -171,6 +172,9 @@ def rdbs_sssp(
         buckets_processed += 1
         if buckets_processed > max_buckets:
             raise RuntimeError("bucket limit exceeded; check delta/weights")
+        device.annotate(
+            "bucket", index=bucket_id, lo=b_lo, hi=b_hi, active=members
+        )
         if trace is not None:
             trace.begin_bucket(bucket_id, int(members.size), b_lo, b_hi)
         p1_stats = WorkStats()
@@ -202,6 +206,7 @@ def rdbs_sssp(
                 trace=trace,
             )
         total_rounds += outcome.rounds
+        device.annotate("settled", vertices=outcome.settled)
 
         # ------------------------------------------------------------------
         # phases 2 & 3: heavy edges + next-bucket scan (one fused kernel)
@@ -348,10 +353,9 @@ def _phase1_async(
     queue: list[np.ndarray] = [members]
     in_queue[members] = True
     # the device-resident workload lists; re-activations are stored into it
-    # by the manager threads (global store traffic)
-    queue_buf = device.alloc(
-        np.zeros(dist.size, dtype=np.int64), "workload_lists"
-    )
+    # by the manager threads (global store traffic).  Write-only scratch,
+    # so the allocation stays uninitialized (cudaMalloc semantics)
+    queue_buf = device.empty(dist.size, dtype=np.int64, name="workload_lists")
 
     with device.launch("phase1_async") as k:
         while queue:
@@ -383,11 +387,10 @@ def _phase1_async(
 
             if targets.size:
                 cand = np.unique(targets)
-                cand = cand[
-                    (dist.data[cand] >= b_lo)
-                    & (dist.data[cand] < b_hi)
-                    & ~in_queue[cand]
-                ]
+                # manager threads re-read the *fresh* distances (BASYN's
+                # immediate visibility) as a counted gather
+                dv = k.gather(dist, cand, thread_per_item(cand.size))
+                cand = cand[(dv >= b_lo) & (dv < b_hi) & ~in_queue[cand]]
                 if cand.size:
                     # manager threads push re-activated vertices back onto
                     # the workload lists: classify + one queue store each

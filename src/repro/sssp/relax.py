@@ -34,7 +34,13 @@ from ..gpusim.memory import DeviceArray
 from ..metrics.workstats import WorkStats
 from ..util.scan import segmented_arange
 
-__all__ = ["DeviceGraph", "EdgeBatch", "relax_batch", "FrontierFlags"]
+__all__ = [
+    "DeviceGraph",
+    "EdgeBatch",
+    "RelaxOutcome",
+    "relax_batch",
+    "FrontierFlags",
+]
 
 
 @dataclass(frozen=True)
@@ -140,6 +146,36 @@ class DeviceGraph:
         )
 
 
+@dataclass(frozen=True)
+class RelaxOutcome:
+    """Result of one :func:`relax_batch` call.
+
+    ``new_dist[i]`` is the tentative distance the ``atomicMin`` for target
+    ``targets[i]`` carried — for updated entries, exactly the value the
+    atomic wrote (the register-resident result a real kernel branches on,
+    so consumers never need an un-counted host read of ``dist``).
+    """
+
+    #: per-relaxed-edge target vertex
+    targets: np.ndarray
+    #: mask of atomics that lowered their cell (the paper's "updates")
+    updated: np.ndarray
+    #: per-edge tentative distance handed to the atomic
+    new_dist: np.ndarray
+
+    def __iter__(self):
+        # (targets, updated) unpacking remains valid for call sites that
+        # do not need the written values
+        return iter((self.targets, self.updated))
+
+
+_EMPTY_OUTCOME = RelaxOutcome(
+    targets=np.zeros(0, dtype=np.int64),
+    updated=np.zeros(0, dtype=bool),
+    new_dist=np.zeros(0, dtype=np.float64),
+)
+
+
 def relax_batch(
     ctx: KernelContext,
     dgraph: DeviceGraph,
@@ -150,8 +186,8 @@ def relax_batch(
     stats: WorkStats | tuple[WorkStats, ...] | None,
     *,
     weight_filter: tuple[float, bool] | None = None,
-) -> tuple[np.ndarray, np.ndarray]:
-    """Relax one edge batch under ``assignment``; returns ``(targets, updated)``.
+) -> RelaxOutcome:
+    """Relax one edge batch under ``assignment``; returns a :class:`RelaxOutcome`.
 
     Implements Algorithm 1 with full accounting: per-vertex ``dist[u]``
     load, per-edge target/weight loads, the tentative-distance compute, and
@@ -168,7 +204,7 @@ def relax_batch(
         if vertices.size:
             a_v = thread_per_item(vertices.size)
             ctx.gather(dist, vertices, a_v)
-        return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=bool)
+        return _EMPTY_OUTCOME
 
     # load dist[u] once per active vertex (register-resident thereafter)
     a_v = thread_per_item(vertices.size)
@@ -188,11 +224,11 @@ def relax_batch(
         v_sel, nd_sel = v[taken], nd[taken]
         _old, updated = ctx.atomic_min(dist, v_sel, nd_sel, sub)
         _record(stats, v_sel, nd_sel, updated)
-        return v_sel, updated
+        return RelaxOutcome(targets=v_sel, updated=updated, new_dist=nd_sel)
 
     _old, updated = ctx.atomic_min(dist, v, nd, assignment)
     _record(stats, v, nd, updated)
-    return v, updated
+    return RelaxOutcome(targets=v, updated=updated, new_dist=nd)
 
 
 def _record(stats, vertices: np.ndarray, values: np.ndarray, updated: np.ndarray) -> None:
@@ -207,11 +243,24 @@ def _record(stats, vertices: np.ndarray, values: np.ndarray, updated: np.ndarray
 
 
 class FrontierFlags:
-    """Device flag array for duplicate-free frontier construction."""
+    """Iteration-stamped flag array for duplicate-free frontier construction.
+
+    Instead of marking flags with ``1`` and clearing them afterwards — a
+    clear that races the neighbouring warps' test-and-set inside the same
+    kernel — each frontier round writes the current *round stamp* and a
+    flag counts as marked only when it equals the stamp.  One store per
+    fresh vertex, no clear pass at all, and the only remaining race is the
+    benign same-value stamp write (the idiom real frontier codes use).
+    """
 
     def __init__(self, device: GPUDevice, num_vertices: int) -> None:
         self.device = device
-        self.flags = device.zeros(num_vertices, dtype=np.int8, name="frontier_flags")
+        self.flags = device.zeros(num_vertices, dtype=np.int32, name="frontier_flags")
+        self._stamp = 1  # zeroed storage must not read as "marked"
+
+    def new_round(self) -> None:
+        """Start the next frontier round: all previous marks turn stale."""
+        self._stamp += 1
 
     def push(
         self,
@@ -221,13 +270,14 @@ class FrontierFlags:
     ) -> np.ndarray:
         """Mark ``targets`` and return the newly marked (deduplicated) ones.
 
-        Models the gather-test-set idiom: load the flag, branch on it,
-        store for the fresh ones.  The returned array is sorted and unique.
+        Models the gather-test-set idiom: load the flag, branch on the
+        stamp test, store the stamp for the fresh ones.  The returned
+        array is sorted and unique.
         """
         if targets.size == 0:
             return np.zeros(0, dtype=np.int64)
         current = ctx.gather(self.flags, targets, assignment)
-        fresh_mask = current == 0
+        fresh_mask = current != self._stamp
         ctx.branch(assignment, fresh_mask)
         fresh = np.unique(targets[fresh_mask])
         if fresh.size:
@@ -235,16 +285,7 @@ class FrontierFlags:
             ctx.scatter(
                 self.flags,
                 targets[fresh_mask],
-                np.ones(int(fresh_mask.sum()), dtype=np.int8),
+                np.full(int(fresh_mask.sum()), self._stamp, dtype=np.int32),
                 sub,
             )
         return fresh
-
-    def clear(self, ctx: KernelContext, vertices: np.ndarray) -> None:
-        """Reset flags for ``vertices`` (store per entry)."""
-        if vertices.size == 0:
-            return
-        a = thread_per_item(vertices.size)
-        ctx.scatter(
-            self.flags, vertices, np.zeros(vertices.size, dtype=np.int8), a
-        )

@@ -86,3 +86,13 @@ def component_source(graph) -> int:
 @pytest.fixture
 def kron_source(small_kron):
     return component_source(small_kron)
+
+
+@pytest.fixture
+def sanitizer():
+    """A hazard sanitizer attached (via the global registry) to every
+    device created inside the test; yields the live Sanitizer."""
+    from repro.analysis import attached
+
+    with attached() as san:
+        yield san

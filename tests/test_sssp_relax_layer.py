@@ -141,11 +141,12 @@ class TestFrontierFlags:
             fresh = flags.push(k, np.array([2, 4]), thread_per_item(2))
         assert list(fresh) == [4]
 
-    def test_clear(self, dev):
+    def test_new_round_resets_marks(self, dev):
         flags = FrontierFlags(dev, 10)
         with dev.launch("k") as k:
             flags.push(k, np.array([1, 2]), thread_per_item(2))
-            flags.clear(k, np.array([1, 2]))
+        flags.new_round()
+        with dev.launch("k2") as k:
             fresh = flags.push(k, np.array([1]), thread_per_item(1))
         assert list(fresh) == [1]
 

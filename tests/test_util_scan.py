@@ -87,6 +87,40 @@ class TestSerializedMinOutcome:
         old, upd = serialized_min_outcome(cur, np.array([], dtype=np.int64), np.array([]))
         assert old.size == 0 and upd.size == 0
 
+    def test_empty_leaves_current_untouched(self):
+        cur = np.array([1.0, 2.0])
+        serialized_min_outcome(cur, np.array([], dtype=np.int64), np.array([]))
+        assert list(cur) == [1.0, 2.0]
+
+    def test_all_same_address_descending(self):
+        """Every op hits one cell; each strictly-lower value wins in order."""
+        cur = np.array([np.inf])
+        idx = np.zeros(5, dtype=np.int64)
+        vals = np.array([9.0, 7.0, 5.0, 3.0, 1.0])
+        old, upd = serialized_min_outcome(cur, idx, vals)
+        assert list(old) == [np.inf, 9.0, 7.0, 5.0, 3.0]
+        assert upd.all()
+        assert cur[0] == 1.0
+
+    def test_all_same_address_ascending_only_first_wins(self):
+        cur = np.array([np.inf])
+        idx = np.zeros(4, dtype=np.int64)
+        vals = np.array([1.0, 2.0, 3.0, 4.0])
+        old, upd = serialized_min_outcome(cur, idx, vals)
+        assert list(upd) == [True, False, False, False]
+        assert list(old) == [np.inf, 1.0, 1.0, 1.0]
+        assert cur[0] == 1.0
+
+    def test_all_same_address_equal_values_never_update(self):
+        """atomicMin with v == current is a no-op: no spurious 'updated'."""
+        cur = np.array([5.0])
+        idx = np.zeros(3, dtype=np.int64)
+        vals = np.array([5.0, 5.0, 5.0])
+        old, upd = serialized_min_outcome(cur, idx, vals)
+        assert not upd.any()
+        assert list(old) == [5.0, 5.0, 5.0]
+        assert cur[0] == 5.0
+
     def test_duplicates_serialize_in_program_order(self):
         cur = np.array([10.0])
         idx = np.array([0, 0, 0])
