@@ -12,7 +12,14 @@ small Δ0.
 
 from functools import lru_cache
 
-from repro.bench import benchmark_spec, format_table, get_graph, pick_sources, write_results
+from repro.bench import (
+    benchmark_spec,
+    format_table,
+    get_graph,
+    pick_sources,
+    record_from_result,
+    write_results,
+)
 from repro.metrics import convergence_from_trace
 from repro.sssp import default_delta, rdbs_sssp, validate_distances
 
@@ -31,6 +38,7 @@ def convergence_runs():
         "async, dynamic Δ (small Δ0)": dict(basyn=True, delta=d0 / 4),
     }
     rows = []
+    records = []
     for label, kw in arms.items():
         r = rdbs_sssp(g, src, spec=spec, record_trace=True, **kw)
         validate_distances(g, src, r.dist)
@@ -47,11 +55,18 @@ def convergence_runs():
                 c.async_rounds,
             ]
         )
-    return rows
+        records.append(
+            record_from_result(
+                r, dataset=DATASET, method=f"rdbs[{label}]", gpu=spec.name
+            )
+        )
+    return rows, records
 
 
 def test_ablation_convergence(benchmark):
-    rows = benchmark.pedantic(convergence_runs, rounds=1, iterations=1)
+    rows, records = benchmark.pedantic(
+        convergence_runs, rounds=1, iterations=1
+    )
     text = format_table(
         [
             "arm", "time ms", "buckets", "AUC",
@@ -61,7 +76,7 @@ def test_ablation_convergence(benchmark):
         title=f"Ablation — convergence acceleration on {DATASET} (§4.3)",
     )
     print("\n" + text)
-    write_results("ablation_convergence.txt", text)
+    write_results("ablation_convergence.txt", text, records=records)
 
     by = {r[0]: r for r in rows}
     sync = by["sync, fixed Δ"]

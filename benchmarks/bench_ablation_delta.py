@@ -16,7 +16,13 @@ but does not sweep:
 
 from functools import lru_cache
 
-from repro.bench import benchmark_spec, format_table, run_method, write_results
+from repro.bench import (
+    benchmark_spec,
+    format_table,
+    record_from_run,
+    run_method,
+    write_results,
+)
 from repro.sssp import default_delta
 
 DATASET = "soc-PK"
@@ -30,6 +36,7 @@ def delta_sweep():
     g = get_graph(DATASET)
     d0 = default_delta(g)
     rows = []
+    records = []
     for f in DELTA_FACTORS:
         run = run_method(DATASET, "rdbs", num_sources=2, delta=d0 * f)
         buckets = run.results[0].extra["buckets"]
@@ -37,18 +44,21 @@ def delta_sweep():
             [f, round(d0 * f, 1), round(run.time_ms, 4),
              round(run.update_ratio, 2), buckets]
         )
-    return rows
+        rec = record_from_run(run)
+        rec.method = f"rdbs[Δ0x{f:g}]"
+        records.append(rec)
+    return rows, records
 
 
 def test_ablation_delta_sensitivity(benchmark):
-    rows = benchmark.pedantic(delta_sweep, rounds=1, iterations=1)
+    rows, records = benchmark.pedantic(delta_sweep, rounds=1, iterations=1)
     text = format_table(
         ["Δ0 factor", "Δ0", "time ms", "update ratio", "buckets"],
         rows,
         title=f"Ablation — Δ0 sensitivity of RDBS on {DATASET}",
     )
     print("\n" + text)
-    write_results("ablation_delta_sensitivity.txt", text)
+    write_results("ablation_delta_sensitivity.txt", text, records=records)
 
     # the classic trade-off: bucket count falls monotonically with Δ...
     buckets = [r[4] for r in rows]
@@ -87,7 +97,7 @@ def test_ablation_execution_modes(benchmark):
         title=f"Ablation — execution modes on {DATASET}",
     )
     print("\n" + text)
-    write_results("ablation_execution_modes.txt", text)
+    write_results("ablation_execution_modes.txt", text, records=runs.values())
 
     # async phase 1 eliminates most synchronization of the sync engine
     assert (

@@ -10,7 +10,14 @@ break-even point.
 
 from functools import lru_cache
 
-from repro.bench import benchmark_spec, format_table, get_graph, pick_sources, write_results
+from repro.bench import (
+    benchmark_spec,
+    format_table,
+    get_graph,
+    pick_sources,
+    record_from_result,
+    write_results,
+)
 from repro.gpusim import NVLINK2_GBPS, PCIE3_GBPS, multi_gpu_sssp
 from repro.sssp import validate_distances
 
@@ -22,6 +29,7 @@ GPU_COUNTS = (1, 2, 4, 8)
 def multigpu_matrix():
     spec = benchmark_spec()
     rows = []
+    records = []
     for name in DATASETS:
         g = get_graph(name)
         src = pick_sources(name, 1)[0]
@@ -43,11 +51,18 @@ def multigpu_matrix():
                         r.supersteps,
                     ]
                 )
-    return rows
+                records.append(
+                    record_from_result(
+                        r, dataset=name,
+                        method=f"1d-partition[{bw_name}x{ng}]",
+                        gpu=spec.name,
+                    )
+                )
+    return rows, records
 
 
 def test_ablation_multigpu_scaling(benchmark):
-    rows = benchmark.pedantic(multigpu_matrix, rounds=1, iterations=1)
+    rows, records = benchmark.pedantic(multigpu_matrix, rounds=1, iterations=1)
     text = format_table(
         [
             "dataset", "link", "gpus", "total ms", "compute ms",
@@ -57,7 +72,7 @@ def test_ablation_multigpu_scaling(benchmark):
         title="Extension — multi-GPU 1-D partition scaling (§7 future work)",
     )
     print("\n" + text)
-    write_results("ablation_multigpu.txt", text)
+    write_results("ablation_multigpu.txt", text, records=records)
 
     def cell(name, link, ng):
         return next(

@@ -10,7 +10,14 @@ balancing transfers beyond SSSP.
 
 from functools import lru_cache
 
-from repro.bench import benchmark_spec, format_table, get_graph, pick_sources, write_results
+from repro.bench import (
+    benchmark_spec,
+    format_table,
+    get_graph,
+    pick_sources,
+    record_from_result,
+    write_results,
+)
 from repro.graphalgs import bfs_gpu, connected_components_gpu, pagerank_gpu
 
 DATASETS = ["road-TX", "soc-PK", "k-n21-16"]
@@ -20,6 +27,7 @@ DATASETS = ["road-TX", "soc-PK", "k-n21-16"]
 def framework_matrix():
     spec = benchmark_spec()
     rows = []
+    records = []
     for name in DATASETS:
         g = get_graph(name)
         src = pick_sources(name, 1)[0]
@@ -27,6 +35,17 @@ def framework_matrix():
         bfs_s = bfs_gpu(g, src, spec=spec, adaptive=False)
         cc = connected_components_gpu(g, spec=spec)
         pr = pagerank_gpu(g, spec=spec, max_iterations=50, tol=1e-7)
+        for method, r in (
+            ("bfs[adaptive]", bfs_a),
+            ("bfs[static]", bfs_s),
+            ("components", cc),
+            ("pagerank", pr),
+        ):
+            records.append(
+                record_from_result(
+                    r, dataset=name, method=method, gpu=spec.name
+                )
+            )
         rows.append(
             [
                 name,
@@ -39,11 +58,11 @@ def framework_matrix():
                 pr.iterations,
             ]
         )
-    return rows
+    return rows, records
 
 
 def test_framework_kernels(benchmark):
-    rows = benchmark.pedantic(framework_matrix, rounds=1, iterations=1)
+    rows, records = benchmark.pedantic(framework_matrix, rounds=1, iterations=1)
     text = format_table(
         [
             "dataset", "BFS adpt ms", "BFS static ms", "depth",
@@ -53,7 +72,7 @@ def test_framework_kernels(benchmark):
         title="Extension — framework kernels on the simulated V100",
     )
     print("\n" + text)
-    write_results("framework_kernels.txt", text)
+    write_results("framework_kernels.txt", text, records=records)
 
     by = {r[0]: r for r in rows}
     # adaptive balancing helps (or at least never hurts) BFS on the

@@ -20,8 +20,10 @@ PriorityGraph's compiler enforces ordered-algorithm structure:
 ``AN201`` mutable default argument
     ``def f(x=[])`` and friends (generic hygiene).
 ``AN202`` missing ``__all__``
-    every module under ``src/repro`` declares its public surface
-    (``__main__.py`` excepted).
+    every *library* module — a file inside a package (a directory with an
+    ``__init__.py``) — declares its public surface.  Top-level scripts
+    (``benchmarks/``, ``examples/``) have no import surface and are
+    exempt, as is ``__main__.py``.
 
 Suppressions: a line containing ``repro-lint: disable=AN1xx`` silences that
 rule on that line; ``gpusim/device.py`` (which *implements* the storage) is
@@ -277,6 +279,12 @@ def lint_paths(paths: list[str | Path]) -> list[LintFinding]:
         files = sorted(p.rglob("*.py")) if p.is_dir() else [p]
         for f in files:
             findings.extend(
-                lint_source(f.read_text(encoding="utf-8"), str(f))
+                lint_source(
+                    f.read_text(encoding="utf-8"),
+                    str(f),
+                    # AN202 is about a module's *import* surface: it applies
+                    # inside packages only, not to standalone scripts
+                    require_all=(f.parent / "__init__.py").exists(),
+                )
             )
     return sorted(findings, key=lambda f: (f.path, f.line, f.rule))

@@ -9,6 +9,7 @@ row is only reported for *correct* distances.
 from __future__ import annotations
 
 import statistics
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -27,10 +28,26 @@ __all__ = [
     "format_table",
     "write_results",
     "RESULTS_DIR",
+    "default_results_dir",
 ]
 
-#: where bench files drop their regenerated tables
+#: the repo-relative results directory — only meaningful in a source
+#: checkout; installed packages fall back to the working directory (see
+#: :func:`default_results_dir`)
 RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def default_results_dir() -> Path:
+    """Where bench files drop regenerated tables when no dir is injected.
+
+    ``RESULTS_DIR`` resolves three levels above this file, which lands in
+    the repo for an editable install but in the middle of ``site-packages``
+    for a regular one — in that case fall back to ``benchmarks/results``
+    under the current working directory.
+    """
+    if RESULTS_DIR.parent.exists():
+        return RESULTS_DIR
+    return Path.cwd() / "benchmarks" / "results"
 
 
 @dataclass
@@ -43,6 +60,10 @@ class MethodRun:
     gteps: float
     update_ratio: float
     results: list[SSSPResult] = field(default_factory=list)
+    #: device-spec label the cell ran on ("cpu" for host methods)
+    gpu: str = ""
+    #: real (wall-clock) seconds spent inside the solver across all sources
+    host_seconds: float = 0.0
 
     @property
     def counters(self):
@@ -77,11 +98,14 @@ def run_method(
         "basyn+adwl", "basyn+pro+adwl", "sync-delta", "harish-narayanan",
     }
     results: list[SSSPResult] = []
+    host_seconds = 0.0
     for s in sources:
         kw = dict(kwargs)
         if method in gpu_methods:
             kw.setdefault("spec", spec)
+        t0 = time.perf_counter()
         r = sssp(g, s, method=method, **kw)
+        host_seconds += time.perf_counter() - t0
         if validate:
             validate_distances(g, s, r.dist)
         results.append(r)
@@ -94,6 +118,8 @@ def run_method(
         gteps=statistics.fmean([r.gteps for r in results]),
         update_ratio=statistics.fmean(ratios) if ratios else float("nan"),
         results=results,
+        gpu=spec.name if method in gpu_methods else "cpu",
+        host_seconds=host_seconds,
     )
 
 
@@ -144,11 +170,38 @@ def _fmt(c) -> str:
     return str(c)
 
 
-def write_results(filename: str, text: str) -> Path:
-    """Persist a regenerated table under ``benchmarks/results/``."""
-    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    path = RESULTS_DIR / filename
+def write_results(
+    filename: str,
+    text: str,
+    records=None,
+    *,
+    tables: list[dict] | None = None,
+    results_dir: str | Path | None = None,
+) -> Path:
+    """Persist a regenerated table, plus its machine-readable sidecar.
+
+    ``records`` (BenchRecords or MethodRuns) and/or ``tables``
+    (``{"title", "headers", "rows"}`` dicts) are serialized to
+    ``<stem>.json`` next to the text table under the versioned trajectory
+    schema (:mod:`repro.bench.trajectory`) — the per-figure complement of
+    the repo-root ``BENCH_<suite>.json`` files.  ``results_dir`` overrides
+    the output directory (see :func:`default_results_dir`).
+    """
+    out_dir = (
+        Path(results_dir) if results_dir is not None else default_results_dir()
+    )
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / filename
     path.write_text(text + "\n", encoding="utf-8")
+    if records is not None or tables is not None:
+        from .trajectory import write_trajectory
+
+        write_trajectory(
+            path.with_suffix(".json"),
+            list(records) if records is not None else [],
+            suite=path.stem,
+            tables=tables,
+        )
     return path
 
 

@@ -1,0 +1,86 @@
+"""Named benchmark suites for the continuous-benchmarking gate.
+
+A *suite* is a fixed (datasets × methods) matrix whose records form one
+``BENCH_<suite>.json`` trajectory file:
+
+* ``quick`` — two structurally opposed datasets (power-law Amazon,
+  uniform-degree road-TX) × the three headline engines (BL, ADDS, RDBS).
+  Small enough to run on every pull request (~15 s); rich enough that a
+  change to frontier handling, bucketing, the cost model or the counter
+  accounting moves at least one deterministic cell.
+* ``paper`` — the full Fig. 8 / Table 2 matrix: the six Fig. 8 datasets ×
+  BL, ADDS, RDBS and the three optimization arms.  The record to refresh
+  when publishing performance claims; too heavy for per-PR CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .datasets import FIG8_DATASETS
+from .harness import run_method
+from .trajectory import BenchRecord, record_from_run
+
+__all__ = ["SuiteSpec", "SUITES", "suite_names", "run_suite"]
+
+
+@dataclass(frozen=True)
+class SuiteSpec:
+    """The (datasets × methods) matrix of one named suite."""
+
+    name: str
+    datasets: tuple[str, ...]
+    methods: tuple[str, ...]
+    num_sources: int = 1
+
+
+SUITES: dict[str, SuiteSpec] = {
+    "quick": SuiteSpec(
+        name="quick",
+        datasets=("Amazon", "road-TX"),
+        methods=("bl", "adds", "rdbs"),
+        num_sources=2,
+    ),
+    "paper": SuiteSpec(
+        name="paper",
+        datasets=tuple(FIG8_DATASETS),
+        methods=(
+            "bl", "adds", "rdbs",
+            "basyn+pro", "basyn+adwl", "basyn+pro+adwl",
+        ),
+        num_sources=3,
+    ),
+}
+
+
+def suite_names() -> list[str]:
+    """The suites ``bench run --suite`` accepts."""
+    return sorted(SUITES)
+
+
+def run_suite(name: str, *, progress=None) -> list[BenchRecord]:
+    """Run every cell of suite ``name`` and return its records.
+
+    ``progress`` is an optional callable taking one status string (the CLI
+    passes ``print``); every run is validated against the SciPy oracle by
+    ``run_method`` before being recorded.
+    """
+    try:
+        spec = SUITES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown suite {name!r}; choose from {', '.join(suite_names())}"
+        ) from None
+    records: list[BenchRecord] = []
+    for dataset in spec.datasets:
+        for method in spec.methods:
+            run = run_method(
+                dataset, method, num_sources=spec.num_sources
+            )
+            records.append(record_from_run(run))
+            if progress is not None:
+                progress(
+                    f"  {dataset:>10s} {method:<16s} "
+                    f"{run.time_ms:9.4f} ms  ({run.host_seconds:.2f} s host)"
+                )
+    return records

@@ -8,6 +8,8 @@ Commands
 ``datasets``  list the bundled Table-1 surrogate datasets
 ``sanitize``  run one method under the hazard sanitizer and report findings
 ``lint``      statically check kernel-authoring rules (repro-lint)
+``bench``     continuous benchmarking: run suites, gate against baselines,
+              diff trajectory files (``bench run | check | diff``)
 
 Graphs are specified with a compact ``kind:args`` syntax::
 
@@ -40,7 +42,6 @@ from .graphs import (
     read_dimacs_gr,
     read_edge_list,
 )
-from .graphs.properties import graph_stats
 from .gpusim import A100, T4, V100
 from .sssp import method_names, sssp, validate_distances
 
@@ -241,6 +242,71 @@ def _cmd_selfcheck(_args) -> int:
     return 0
 
 
+def _cmd_bench_run(args) -> int:
+    """Run a named suite and write its ``BENCH_<suite>.json`` trajectory."""
+    from .bench import run_suite, write_trajectory
+
+    print(f"running bench suite {args.suite!r} ...")
+    records = run_suite(args.suite, progress=print)
+    out = Path(args.out) if args.out else Path(f"BENCH_{args.suite}.json")
+    write_trajectory(out, records, suite=args.suite)
+    print(f"wrote {len(records)} record(s) to {out}")
+    return 0
+
+
+def _cmd_bench_check(args) -> int:
+    """Gate a fresh (or given) run against a committed baseline."""
+    from .bench import (
+        SchemaVersionError,
+        compare_records,
+        load_trajectory,
+        run_suite,
+    )
+
+    try:
+        meta, baseline = load_trajectory(args.baseline)
+    except SchemaVersionError as exc:
+        raise SystemExit(str(exc)) from None
+    if args.current:
+        try:
+            _, current = load_trajectory(args.current)
+        except SchemaVersionError as exc:
+            raise SystemExit(str(exc)) from None
+        print(f"comparing {args.current} against baseline {args.baseline}")
+    else:
+        suite = meta.get("suite", "quick")
+        print(f"running suite {suite!r} against baseline {args.baseline}")
+        current = run_suite(suite, progress=print)
+    report = compare_records(
+        baseline, current,
+        wall_tolerance=args.wall_tolerance,
+        check_wall=not args.no_wall,
+    )
+    print(report.summary())
+    if report.ok:
+        print("bench check: clean against baseline ✓")
+        return 0
+    print(
+        "bench check: trajectory drifted — investigate, or refresh the "
+        "baseline with `python -m repro.cli bench run` if the change is "
+        "intended (see docs/benchmarking.md)"
+    )
+    return 1
+
+
+def _cmd_bench_diff(args) -> int:
+    """Print a per-cell regression table between two trajectory files."""
+    from .bench import SchemaVersionError, format_diff, load_trajectory
+
+    try:
+        _, a = load_trajectory(args.a)
+        _, b = load_trajectory(args.b)
+    except SchemaVersionError as exc:
+        raise SystemExit(str(exc)) from None
+    print(format_diff(a, b, labels=(Path(args.a).name, Path(args.b).name)))
+    return 0
+
+
 def _cmd_datasets(_args) -> int:
     print(f"{'name':<10} {'n':>8} {'m':>9} {'avg_deg':>8} {'class'}")
     from .graphs.surrogates import DATASETS
@@ -308,6 +374,41 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("paths", nargs="*", default=["src/repro"],
                     help="files or directories (default: src/repro)")
     sp.set_defaults(fn=_cmd_lint)
+
+    sp = sub.add_parser(
+        "bench", help="continuous benchmarking (JSON perf trajectory)"
+    )
+    bench_sub = sp.add_subparsers(dest="bench_command", required=True)
+
+    bp = bench_sub.add_parser(
+        "run", help="run a suite and write BENCH_<suite>.json"
+    )
+    from .bench.suites import suite_names as _suite_names
+
+    bp.add_argument("--suite", default="quick", choices=_suite_names())
+    bp.add_argument("--out", default=None,
+                    help="output path (default BENCH_<suite>.json in cwd)")
+    bp.set_defaults(fn=_cmd_bench_run)
+
+    bp = bench_sub.add_parser(
+        "check", help="re-run a baseline's suite and gate on regressions"
+    )
+    bp.add_argument("--baseline", required=True,
+                    help="committed BENCH_*.json to gate against")
+    bp.add_argument("--current", default=None,
+                    help="compare this trajectory file instead of re-running")
+    bp.add_argument("--wall-tolerance", type=float, default=0.25,
+                    help="relative host wall-clock slack (default 0.25)")
+    bp.add_argument("--no-wall", action="store_true",
+                    help="skip the wall-clock tier (cross-machine gating)")
+    bp.set_defaults(fn=_cmd_bench_check)
+
+    bp = bench_sub.add_parser(
+        "diff", help="per-cell regression table between two trajectories"
+    )
+    bp.add_argument("a", help="left trajectory file")
+    bp.add_argument("b", help="right trajectory file")
+    bp.set_defaults(fn=_cmd_bench_diff)
 
     sp = sub.add_parser("datasets", help="list bundled dataset surrogates")
     sp.set_defaults(fn=_cmd_datasets)

@@ -112,10 +112,20 @@ class KernelCounters:
         return out
 
     def as_dict(self) -> dict[str, float]:
-        """Plain-dict snapshot, including the derived metrics."""
-        d = {f.name: getattr(self, f.name) for f in fields(self)}
-        d["global_hit_rate"] = self.global_hit_rate
-        d["simt_efficiency"] = self.simt_efficiency
+        """Stable plain-dict snapshot, including the derived metrics.
+
+        The snapshot is the serialization boundary for benchmark records
+        (:mod:`repro.bench.trajectory`): keys appear in declaration order,
+        raw event counts are plain ``int`` (kernels may accumulate NumPy
+        scalars, which ``json`` refuses to encode) and derived metrics are
+        plain ``float`` — so two identical runs always serialize to the
+        same JSON, byte for byte.
+        """
+        d: dict[str, float] = {
+            f.name: int(getattr(self, f.name)) for f in fields(self)
+        }
+        d["global_hit_rate"] = float(self.global_hit_rate)
+        d["simt_efficiency"] = float(self.simt_efficiency)
         return d
 
 
@@ -134,3 +144,16 @@ class DeviceCounters:
     def kernels_named(self, prefix: str) -> list[KernelCounters]:
         """All recorded kernels whose name starts with ``prefix``."""
         return [c for name, c in self.per_kernel if name.startswith(prefix)]
+
+    def as_dict(self, *, per_kernel: bool = False) -> dict:
+        """Stable JSON-safe snapshot of the whole-run counters.
+
+        ``per_kernel=True`` additionally serializes the launch-by-launch
+        history (large; benchmark records keep only the totals).
+        """
+        d: dict = {"totals": self.totals.as_dict()}
+        if per_kernel:
+            d["per_kernel"] = [
+                [name, c.as_dict()] for name, c in self.per_kernel
+            ]
+        return d

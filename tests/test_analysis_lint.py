@@ -21,6 +21,23 @@ class TestOwnSources:
             f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
         )
 
+    def test_benchmarks_and_examples_are_clean(self):
+        findings = lint_paths(
+            [str(REPO / "benchmarks"), str(REPO / "examples")]
+        )
+        assert findings == [], "\n".join(
+            f"{f.path}:{f.line}: {f.rule} {f.message}" for f in findings
+        )
+
+    def test_an202_scoped_to_packages(self, tmp_path):
+        # AN202 (missing __all__) is about a module's import surface: it
+        # applies inside packages, not to standalone scripts
+        script = tmp_path / "bench_x.py"
+        script.write_text("def f(arr):\n    return arr\n")
+        assert rules(lint_paths([tmp_path])) == []
+        (tmp_path / "__init__.py").write_text("__all__ = []\n")
+        assert rules(lint_paths([tmp_path])) == ["AN202"]
+
 
 class TestKernelContextRules:
     def test_an101_data_write_outside_launch(self):

@@ -48,6 +48,9 @@ class TestRunMethod:
         assert run.gteps > 0
         assert run.update_ratio >= 1.0
         assert run.counters is not None
+        # perf-trajectory provenance: wall clock and device label
+        assert run.host_seconds > 0
+        assert run.gpu.startswith("V100")
 
     def test_explicit_graph_and_sources(self):
         from repro.graphs import kronecker
@@ -88,3 +91,38 @@ class TestFormatting:
         monkeypatch.setattr(h, "RESULTS_DIR", tmp_path / "r")
         p = h.write_results("t.txt", "hello")
         assert p.read_text() == "hello\n"
+
+    def test_write_results_dir_injectable(self, tmp_path):
+        # installed (non-editable) packages can't rely on the repo-relative
+        # RESULTS_DIR; callers inject the output directory instead
+        from repro.bench.harness import write_results
+
+        p = write_results("t.txt", "hi", results_dir=tmp_path / "out")
+        assert p == tmp_path / "out" / "t.txt"
+        assert p.read_text() == "hi\n"
+
+    def test_default_results_dir_falls_back_to_cwd(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.bench.harness as h
+
+        # simulate a site-packages install: RESULTS_DIR's parent is gone
+        monkeypatch.setattr(
+            h, "RESULTS_DIR", tmp_path / "missing" / "benchmarks" / "results"
+        )
+        monkeypatch.chdir(tmp_path)
+        assert h.default_results_dir() == tmp_path / "benchmarks" / "results"
+
+    def test_write_results_json_sidecar(self, tmp_path):
+        import json
+
+        from repro.bench import run_method, write_results
+
+        run = run_method("Amazon", "rdbs", num_sources=1)
+        write_results(
+            "cell.txt", "table", records=[run], results_dir=tmp_path
+        )
+        doc = json.loads((tmp_path / "cell.json").read_text())
+        assert doc["suite"] == "cell"
+        assert doc["records"][0]["method"] == "rdbs"
+        assert doc["records"][0]["counters"]["kernel_launches"] > 0

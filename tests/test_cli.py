@@ -125,6 +125,82 @@ class TestCommands:
         assert build_parser().prog == "repro"
 
 
+class TestBench:
+    @pytest.fixture()
+    def tiny_quick_suite(self, monkeypatch):
+        """Shrink the quick suite to one cheap cell for CLI round trips."""
+        from repro.bench import suites
+
+        monkeypatch.setitem(
+            suites.SUITES,
+            "quick",
+            suites.SuiteSpec(
+                name="quick",
+                datasets=("Amazon",),
+                methods=("rdbs",),
+                num_sources=1,
+            ),
+        )
+
+    def test_bench_run_writes_trajectory(
+        self, tmp_path, tiny_quick_suite, capsys
+    ):
+        out = tmp_path / "BENCH_quick.json"
+        assert main(["bench", "run", "--suite", "quick",
+                     "--out", str(out)]) == 0
+        from repro.bench import load_trajectory
+
+        meta, records = load_trajectory(out)
+        assert meta["suite"] == "quick"
+        assert [r.key[:2] for r in records] == [("Amazon", "rdbs")]
+        assert "wrote 1 record(s)" in capsys.readouterr().out
+
+    def test_bench_check_round_trip_and_regression(
+        self, tmp_path, tiny_quick_suite, capsys
+    ):
+        import json
+
+        out = tmp_path / "BENCH_quick.json"
+        assert main(["bench", "run", "--suite", "quick",
+                     "--out", str(out)]) == 0
+        # unchanged tree: re-running the suite matches the baseline exactly
+        assert main(["bench", "check", "--baseline", str(out),
+                     "--no-wall"]) == 0
+        assert "clean against baseline" in capsys.readouterr().out
+        # perturb one deterministic cell -> the gate must fail
+        doc = json.loads(out.read_text())
+        doc["records"][0]["counters"]["inst_executed_atomics"] += 1
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps(doc))
+        assert main(["bench", "check", "--baseline", str(out),
+                     "--current", str(bad)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_check_rejects_schema_mismatch(self, tmp_path):
+        import json
+
+        bad = tmp_path / "old.json"
+        bad.write_text(json.dumps({"schema_version": 999, "records": []}))
+        with pytest.raises(SystemExit, match="schema_version"):
+            main(["bench", "check", "--baseline", str(bad)])
+
+    def test_bench_diff(self, tmp_path, capsys):
+        from repro.bench import BenchRecord, write_trajectory
+
+        a = tmp_path / "a.json"
+        b = tmp_path / "b.json"
+        write_trajectory(
+            a, [BenchRecord("g", "rdbs", time_ms=1.0)], suite="t"
+        )
+        write_trajectory(
+            b, [BenchRecord("g", "rdbs", time_ms=2.0)], suite="t"
+        )
+        assert main(["bench", "diff", str(a), str(b)]) == 0
+        out = capsys.readouterr().out
+        assert "bench diff" in out
+        assert "DRIFT" in out
+
+
 class TestSelfcheck:
     def test_selfcheck_passes(self, capsys):
         assert main(["selfcheck"]) == 0
