@@ -7,6 +7,8 @@ Commands
 ``profile``   run one method and print the kernel timeline / bottlenecks
 ``datasets``  list the bundled Table-1 surrogate datasets
 ``sanitize``  run one method under the hazard sanitizer and report findings
+``faults``    run one method under deterministic fault injection and the
+              self-healing runtime, then print the fault report
 ``lint``      statically check kernel-authoring rules (repro-lint)
 ``bench``     continuous benchmarking: run suites, gate against baselines,
               diff trajectory files (``bench run | check | diff``)
@@ -42,8 +44,9 @@ from .graphs import (
     read_dimacs_gr,
     read_edge_list,
 )
+from .faults import GPU_METHODS, plan_names
 from .gpusim import A100, T4, V100
-from .sssp import method_names, sssp, validate_distances
+from .sssp import DistanceMismatch, method_names, sssp, validate_distances
 
 __all__ = ["main", "parse_graph_spec", "parse_gpu_spec"]
 
@@ -101,12 +104,8 @@ def _pick_source(graph: CSRGraph, arg: str) -> int:
 
 
 def _gpu_kwargs(args, method: str) -> dict:
-    gpu_methods = {
-        "bl", "near-far", "adds", "rdbs", "basyn", "basyn+pro",
-        "basyn+adwl", "basyn+pro+adwl", "sync-delta",
-    }
     kw: dict = {}
-    if method in gpu_methods:
+    if method in GPU_METHODS:
         kw["spec"] = parse_gpu_spec(args.gpu, args.workload_scale)
     if args.delta is not None and method not in (
         "dijkstra", "bellman-ford"
@@ -198,6 +197,46 @@ def _cmd_sanitize(args) -> int:
     if report.dropped:
         print(f"  ... {report.dropped} further finding(s) dropped")
     return 1 if report.errors else 0
+
+
+def _cmd_faults(args) -> int:
+    """Run one method under deterministic fault injection."""
+    from .faults import InjectedKernelAbort
+
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    source = _pick_source(graph, args.source)
+    try:
+        r, report = _run_faulty(args, graph, source)
+    except InjectedKernelAbort as exc:
+        # fail-stop: without the recovery runtime an injected abort
+        # terminates the run, as it would on real hardware
+        print(f"run terminated by injected fault: {exc}")
+        return 1
+    print(f"graph   : {graph}")
+    print(f"method  : {r.method}")
+    print(f"plan    : {report.plan} (seed {report.seed}, "
+          f"recovery {'off' if args.no_recovery else 'on'})")
+    print(report.summary())
+    ok = report.escaped == 0 and report.verified is not False
+    if not args.no_validate:
+        try:
+            validate_distances(graph, source, r.dist)
+            print("validated against scipy ✓")
+        except DistanceMismatch as exc:
+            ok = False
+            print(f"validation FAILED: {exc}")
+    return 0 if ok else 1
+
+
+def _run_faulty(args, graph, source):
+    from .faults import faulty_sssp
+
+    return faulty_sssp(
+        graph, source, method=args.method,
+        plan=args.plan, seed=args.seed,
+        recovery=not args.no_recovery,
+        **_gpu_kwargs(args, args.method),
+    )
 
 
 def _cmd_lint(args) -> int:
@@ -367,6 +406,16 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--warnings", action="store_true",
                     help="also print benign (warning-level) findings")
     sp.set_defaults(fn=_cmd_sanitize)
+
+    sp = sub.add_parser(
+        "faults", help="run one method under deterministic fault injection"
+    )
+    common(sp)
+    sp.add_argument("--method", default="rdbs", choices=sorted(GPU_METHODS))
+    sp.add_argument("--plan", default="lost-updates", choices=plan_names())
+    sp.add_argument("--no-recovery", action="store_true",
+                    help="inject without the self-healing runtime")
+    sp.set_defaults(fn=_cmd_faults)
 
     sp = sub.add_parser(
         "lint", help="static kernel-authoring lint (repro-lint)"

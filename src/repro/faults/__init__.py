@@ -1,0 +1,45 @@
+"""Deterministic fault injection + self-healing runtime for the simulated GPU.
+
+See ``docs/faults.md`` for the fault taxonomy, plan format, recovery policy
+and the zero-overhead-when-off guarantee.
+"""
+
+from .driver import GPU_METHODS, faulty_sssp
+from .injector import FaultInjector
+from .plan import (
+    FAULT_KINDS,
+    FaultPlan,
+    FaultSpec,
+    InjectedKernelAbort,
+    get_plan,
+    plan_names,
+)
+from .report import FaultEvent, FaultReport
+from .runtime import (
+    RecoveryPolicy,
+    RecoveryRuntime,
+    Watchdog,
+    WatchdogTimeout,
+    make_runtime,
+    verify_distances_host,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "FaultSpec",
+    "GPU_METHODS",
+    "InjectedKernelAbort",
+    "RecoveryPolicy",
+    "RecoveryRuntime",
+    "Watchdog",
+    "WatchdogTimeout",
+    "faulty_sssp",
+    "get_plan",
+    "make_runtime",
+    "plan_names",
+    "verify_distances_host",
+]

@@ -1,0 +1,182 @@
+"""Structured fault accounting: what was injected, detected, corrected.
+
+One :class:`FaultReport` is shared between the injector (which appends a
+:class:`FaultEvent` per injection) and the recovery runtime (which logs its
+actions against the same object), so ``SSSPResult.faults`` tells the whole
+story of a faulty run: every fault, every recovery action, and the final
+verdict.  ``to_dict()`` is plain data — the determinism tests compare two
+runs' reports for exact equality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["FaultEvent", "FaultReport"]
+
+
+@dataclass
+class FaultEvent:
+    """One injected fault, logged at its injection site."""
+
+    kind: str
+    kernel: str
+    array: str
+    index: int
+    #: simulated device clock at injection (milliseconds)
+    time_ms: float
+    detail: str = ""
+    detected: bool = False
+    corrected: bool = False
+
+    @property
+    def status(self) -> str:
+        """``corrected`` ⊃ ``detected`` ⊃ ``injected`` (escaped)."""
+        if self.corrected:
+            return "corrected"
+        return "detected" if self.detected else "escaped"
+
+    def to_dict(self) -> dict:
+        """Plain-data form (stable field order, exact-comparable)."""
+        return {
+            "kind": self.kind,
+            "kernel": self.kernel,
+            "array": self.array,
+            "index": int(self.index),
+            "time_ms": float(self.time_ms),
+            "detail": self.detail,
+            "detected": self.detected,
+            "corrected": self.corrected,
+        }
+
+    def __str__(self) -> str:
+        where = f"{self.kernel}/{self.array}[{self.index}]"
+        tail = f" — {self.detail}" if self.detail else ""
+        return f"[{self.status}] {self.kind} @ {where} t={self.time_ms:.4f}ms{tail}"
+
+
+@dataclass
+class FaultReport:
+    """Injection log + recovery actions + verification verdict."""
+
+    plan: str = ""
+    seed: int = 0
+    events: list[FaultEvent] = field(default_factory=list)
+    #: human-readable recovery action log, in order
+    actions: list[str] = field(default_factory=list)
+    repaired_cells: int = 0
+    repair_sweeps: int = 0
+    rollbacks: int = 0
+    #: did a watchdog/abort force the async→sync degrade?
+    degraded: bool = False
+    #: final host verification verdict; None until a verifier ran
+    verified: bool | None = None
+
+    # ------------------------------------------------------------------
+    # tallies
+    # ------------------------------------------------------------------
+    @property
+    def injected(self) -> int:
+        """Faults the injector actually fired."""
+        return len(self.events)
+
+    @property
+    def detected(self) -> int:
+        """Faults some check noticed (includes every corrected one)."""
+        return sum(1 for e in self.events if e.detected or e.corrected)
+
+    @property
+    def corrected(self) -> int:
+        """Faults whose effect was repaired out of the final distances."""
+        return sum(1 for e in self.events if e.corrected)
+
+    @property
+    def escaped(self) -> int:
+        """Faults whose effect may survive in the final distances."""
+        return self.injected - self.corrected
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        kind: str,
+        kernel: str,
+        array: str,
+        index: int,
+        time_ms: float,
+        detail: str = "",
+    ) -> FaultEvent:
+        """Append one injection event and return it."""
+        event = FaultEvent(kind, kernel, array, int(index), float(time_ms), detail)
+        self.events.append(event)
+        return event
+
+    def log_action(self, action: str) -> None:
+        """Append one recovery action to the log."""
+        self.actions.append(action)
+
+    def mark_detected(self) -> None:
+        """A check fired: every fault injected so far counts as detected.
+
+        Injection sites cannot be attributed to individual probe findings
+        (a lost update surfaces as a distance mismatch anywhere downstream),
+        so detection is collective — the honest granularity.
+        """
+        for e in self.events:
+            e.detected = True
+
+    def finalize(self, ok: bool) -> None:
+        """Record the final verification verdict.
+
+        ``ok`` means the distances passed full host verification: whatever
+        was injected has been repaired out, so every event is corrected.
+        Otherwise the divergence itself constitutes detection, and the
+        uncorrected events stay escaped.
+        """
+        self.verified = ok
+        if ok:
+            for e in self.events:
+                e.detected = True
+                e.corrected = True
+        else:
+            self.mark_detected()
+
+    # ------------------------------------------------------------------
+    # presentation
+    # ------------------------------------------------------------------
+    def summary(self) -> str:
+        """One-paragraph human summary."""
+        lines = [
+            f"faults  : {self.injected} injected, {self.detected} detected, "
+            f"{self.corrected} corrected, {self.escaped} escaped"
+        ]
+        if self.rollbacks or self.repaired_cells or self.repair_sweeps:
+            lines.append(
+                f"recovery: {self.rollbacks} rollback(s), "
+                f"{self.repaired_cells} cell(s) repaired, "
+                f"{self.repair_sweeps} repair sweep(s)"
+                + (", degraded to sync" if self.degraded else "")
+            )
+        elif self.degraded:
+            lines.append("recovery: degraded to sync")
+        if self.verified is not None:
+            lines.append(
+                "verified: distances exact ✓" if self.verified
+                else "verified: DIVERGED ✗"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """Plain-data form for exact determinism comparison."""
+        return {
+            "plan": self.plan,
+            "seed": self.seed,
+            "events": [e.to_dict() for e in self.events],
+            "actions": list(self.actions),
+            "repaired_cells": self.repaired_cells,
+            "repair_sweeps": self.repair_sweeps,
+            "rollbacks": self.rollbacks,
+            "degraded": self.degraded,
+            "verified": self.verified,
+        }

@@ -136,7 +136,14 @@ class KernelContext:
         self.critical_instructions += a.max_steps
         self._note_assignment(a, instructions)
         self.device._notify("on_access", self, "read", arr, idx, None, a)
-        return arr.data[idx]
+        values = arr.data[idx]
+        # value-transform hook (fault injection): runs after all accounting
+        # so the counted work is identical with or without observers
+        for obs in self.device.observers:
+            fn = getattr(obs, "transform_read", None)
+            if fn is not None:
+                values = fn(self, arr, idx, values)
+        return values
 
     def scatter(
         self,
@@ -199,6 +206,12 @@ class KernelContext:
         c.atomic_conflicts += n - unique_addresses
 
         self.device._notify("on_access", self, "atomic_min", arr, idx, values, a)
+        # value-transform hook (fault injection): after accounting, before
+        # the semantic effect — a transformed value changes state, never cost
+        for obs in self.device.observers:
+            fn = getattr(obs, "transform_atomic", None)
+            if fn is not None:
+                values = fn(self, "atomic_min", arr, idx, values)
         # serialize per address in program order (see util.scan)
         return serialized_min_outcome(arr.data, idx, values)
 
@@ -232,6 +245,10 @@ class KernelContext:
         if n:
             c.atomic_conflicts += n - int(np.unique(idx).size)
             self.device._notify("on_access", self, "atomic_add", arr, idx, values, a)
+            for obs in self.device.observers:
+                fn = getattr(obs, "transform_atomic", None)
+                if fn is not None:
+                    values = fn(self, "atomic_add", arr, idx, values)
             np.add.at(arr.data, idx, values)
 
     # ------------------------------------------------------------------

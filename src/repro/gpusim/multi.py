@@ -39,6 +39,9 @@ NVLINK2_GBPS = 150.0
 _EXCHANGE_LATENCY_S = 10e-6
 #: bytes per exchanged update message: (vertex id, distance)
 _MESSAGE_BYTES = 12
+#: bound on post-drain repair sweeps (recovery mode); fault budgets are
+#: finite so a run needing more has a real bug, not injected damage
+_MAX_REPAIR_ROUNDS = 32
 
 
 @dataclass
@@ -53,6 +56,9 @@ class MultiGPUResult:
     exchanged_messages: int
     exchange_time_ms: float
     compute_time_ms: float
+    #: host-side relax-consistency sweeps that had to reseed the frontier
+    #: after lost exchange messages (0 unless ``recovery`` found damage)
+    repair_rounds: int = 0
 
     @property
     def exchange_fraction(self) -> float:
@@ -71,12 +77,20 @@ def multi_gpu_sssp(
     interconnect_gbps: float = NVLINK2_GBPS,
     max_supersteps: int = 1_000_000,
     partition: str | np.ndarray = "block",
+    recovery: bool = False,
 ) -> MultiGPUResult:
     """Bulk-synchronous multi-GPU Bellman-Ford over a 1-D partition.
 
     ``partition`` selects the vertex-ownership strategy: ``"block"``,
     ``"edge-balanced"``, ``"random"``, ``"degree-balanced"`` (see
     :mod:`repro.graphs.partition`) or an explicit owner array.
+
+    With ``recovery=True``, a host-side relax-consistency sweep runs after
+    the frontier drains; edges that can still improve their target (the
+    signature of an exchange message lost in flight) reseed the frontier
+    and the supersteps resume.  Exchange faults can only *lose*
+    improvements — the host copy is authoritative and every mirror is
+    refreshed from it each superstep — so this sweep restores exactness.
     """
     from ..graphs.partition import (
         block_partition,
@@ -127,6 +141,7 @@ def multi_gpu_sssp(
     compute_time = 0.0
     supersteps = 0
     exchanged = 0
+    repair_rounds = 0
 
     while frontier.size:
         supersteps += 1
@@ -163,6 +178,17 @@ def multi_gpu_sssp(
         if all_updates:
             vs = np.concatenate([u[0] for u in all_updates]).astype(np.int64)
             nds = np.concatenate([u[1] for u in all_updates])
+            # fault-injection hook: observers may drop or duplicate
+            # exchange messages in flight (runs after all kernel
+            # accounting, so injection-off is byte-identical)
+            for obs in devices[0].observers:
+                fn = getattr(obs, "transform_exchange", None)
+                if fn is not None:
+                    vs, nds = fn(devices[0], supersteps, vs, nds)
+        else:
+            vs = np.zeros(0, dtype=np.int64)
+            nds = np.zeros(0)
+        if vs.size:
             before = dist[vs]
             np.minimum.at(dist, vs, nds)
             improved = np.unique(vs[dist[vs] < before])
@@ -186,6 +212,16 @@ def multi_gpu_sssp(
         total_time += max(step_times) + xfer
         frontier = improved
 
+        if not frontier.size and recovery:
+            reseed = _lost_update_sources(graph, dist)
+            if reseed.size:
+                repair_rounds += 1
+                if repair_rounds > _MAX_REPAIR_ROUNDS:
+                    raise RuntimeError(
+                        "multi-GPU exchange repair did not converge"
+                    )
+                frontier = reseed
+
     return MultiGPUResult(
         dist=dist,
         source=source,
@@ -195,4 +231,14 @@ def multi_gpu_sssp(
         exchanged_messages=exchanged,
         exchange_time_ms=exchange_time * 1e3,
         compute_time_ms=compute_time * 1e3,
+        repair_rounds=repair_rounds,
     )
+
+
+def _lost_update_sources(graph: CSRGraph, dist: np.ndarray) -> np.ndarray:
+    """Sources of edges that can still improve their target vertex."""
+    srcs = graph.edge_sources()
+    slack = dist[srcs] + graph.weights
+    tol = 1e-12 * np.maximum(1.0, np.where(np.isfinite(slack), slack, 1.0))
+    viol = slack + tol < dist[graph.adj]
+    return np.unique(srcs[viol])

@@ -122,6 +122,15 @@ class CSRGraph:
             raise GraphValidationError("weights and adj must have equal size")
         if m and (self.adj.min() < 0 or self.adj.max() >= n):
             raise GraphValidationError("adjacency ids out of range")
+        if m and not np.isfinite(self.weights).all():
+            # NaN/inf weights silently break Δ-stepping termination (a NaN
+            # compares false against every bucket bound), so reject them
+            # at construction with a diagnosable error
+            bad = int(np.flatnonzero(~np.isfinite(self.weights))[0])
+            raise GraphValidationError(
+                f"edge weights must be finite; weights[{bad}] = "
+                f"{self.weights[bad]}"
+            )
         if m and self.weights.min() < 0:
             raise GraphValidationError("edge weights must be non-negative")
         if self.heavy_offsets is not None:

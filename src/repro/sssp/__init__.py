@@ -13,6 +13,7 @@ from .rho_stepping import default_rho, rho_stepping_sssp
 from .buckets import BucketInterval, DeltaController, bucket_of
 from .cpu_pq_delta import CPUSpec, XEON_8269CY, pq_delta_star_sssp
 from .delta_cpu import delta_stepping_cpu
+from .errors import ConvergenceError
 from .gpu_adds import adds_sssp
 from .gpu_baseline import bl_sssp
 from .gpu_harish import harish_narayanan_sssp
@@ -46,6 +47,7 @@ __all__ = [
     "validate_distances",
     "scipy_distances",
     "DistanceMismatch",
+    "ConvergenceError",
     "rho_stepping_sssp",
     "default_rho",
     "run_batch",

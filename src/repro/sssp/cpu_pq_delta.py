@@ -24,6 +24,7 @@ import numpy as np
 from ..graphs.csr import CSRGraph
 from ..metrics.workstats import WorkStats
 from ..util.scan import segmented_arange, serialized_min_outcome
+from .errors import ConvergenceError
 from .gpu_rdbs import default_delta
 from .result import SSSPResult
 
@@ -106,7 +107,11 @@ def pq_delta_star_sssp(
         batch = np.flatnonzero(pending & (dist < hi))
         batches += 1
         if batches > max_batches:
-            raise RuntimeError("batch limit exceeded")
+            raise ConvergenceError(
+                "batch limit exceeded",
+                method="pq-delta*", iterations=batches - 1,
+                frontier=int(batch.size), delta=delta,
+            )
         settled[batch] = True
 
         counts = (row[batch + 1] - row[batch]).astype(np.int64)

@@ -1,0 +1,56 @@
+"""Shared error types for the SSSP engines.
+
+Every engine bounds its main loop — asynchronous execution over corrupted
+state (a lost update, a bit-flipped distance) can otherwise spin forever —
+and all of them report the same structured :class:`ConvergenceError` when
+the bound trips, instead of the ad-hoc ``RuntimeError`` strings they grew
+independently.  The recovery runtime (:mod:`repro.faults.runtime`) catches
+it to fall back to checkpoint/repair; callers without recovery get a
+diagnosable exception carrying the loop state at the point of surrender.
+"""
+
+from __future__ import annotations
+
+__all__ = ["ConvergenceError"]
+
+
+class ConvergenceError(RuntimeError):
+    """An SSSP engine gave up before reaching a fixpoint.
+
+    Subclasses ``RuntimeError`` so existing ``except RuntimeError`` call
+    sites (and tests matching the legacy messages) keep working.
+
+    Attributes
+    ----------
+    method:
+        engine label (``"rdbs"``, ``"adds"``, ...).
+    reason:
+        which bound tripped (``"bucket limit exceeded"``, ``"step limit
+        exceeded"``, ...); included verbatim in the message.
+    iterations:
+        iterations / steps / buckets completed when the engine stopped.
+    frontier:
+        size of the active set (frontier, near set, bucket) at that point.
+    delta:
+        the engine's current Δ, when it runs a Δ-stepping family member.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        method: str = "",
+        iterations: int = 0,
+        frontier: int = 0,
+        delta: float | None = None,
+    ) -> None:
+        detail = [f"after {iterations} iteration(s)", f"frontier={frontier}"]
+        if delta is not None:
+            detail.append(f"delta={delta:g}")
+        prefix = f"{method}: " if method else ""
+        super().__init__(f"{prefix}{reason} ({', '.join(detail)})")
+        self.method = method
+        self.reason = reason
+        self.iterations = iterations
+        self.frontier = frontier
+        self.delta = delta

@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.plan import InjectedKernelAbort
+from ..faults.runtime import make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import grid_stride, thread_per_item, thread_per_vertex_edges
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
+from .errors import ConvergenceError
 from .gpu_rdbs import default_delta
 from .relax import DeviceGraph, relax_batch
 from .result import SSSPResult
@@ -43,6 +46,7 @@ def adds_sssp(
     delta: float | None = None,
     spec: GPUSpec = V100,
     max_steps: int = 10_000_000,
+    recovery=None,
 ) -> SSSPResult:
     """Run the ADDS-like asynchronous baseline on a simulated GPU."""
     n = graph.num_vertices
@@ -57,6 +61,7 @@ def adds_sssp(
     device.host_store(dist, source, 0.0)
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
+    runtime = make_runtime(recovery, device, dgraph, dist, source, "adds")
 
     threshold = delta
     cur_delta = delta
@@ -69,23 +74,30 @@ def adds_sssp(
     # semantics) — a read before a write is a bug the sanitizer flags
     worklist_buf = device.empty(n, dtype=np.int64, name="near_worklist")
     far_buf = device.empty(n, dtype=np.int64, name="far_pile")
-    steps = 0
-    rounds = 0
+    counters = {"steps": 0, "rounds": 0}
     # dynamic-Δ feedback: aim to keep a near set around the device's
     # resident-warp parallelism (ADDS's utilization-driven adjustment)
     target = spec.resident_warps
 
     while near or far_mask.any():
+        if runtime is not None:
+            runtime.epoch(sum(int(c.size) for c in near))
         if not near:
             candidates = np.flatnonzero(far_mask)
             if candidates.size == 0:
                 break
             min_far = float(dist.data[candidates].min())
             threshold = max(threshold + cur_delta, min_far + cur_delta)
-            with device.launch("adds_split") as k:
-                a = grid_stride(candidates.size, _SCAN_THREADS)
-                dvals = k.gather(dist, candidates, a)
-                k.alu(a, ops=2)
+            try:
+                with device.launch("adds_split") as k:
+                    a = grid_stride(candidates.size, _SCAN_THREADS)
+                    dvals = k.gather(dist, candidates, a)
+                    k.alu(a, ops=2)
+            except InjectedKernelAbort as exc:
+                if runtime is None:
+                    raise
+                near = _adds_reseed(runtime, exc, in_near, far_mask)
+                continue
             device.barrier()
             promote = candidates[dvals < threshold]
             far_mask[promote] = False
@@ -103,48 +115,27 @@ def adds_sssp(
             continue
 
         # ---- asynchronous near-set processing: one persistent kernel ----
-        with device.launch("adds_async") as k:
-            while near:
-                steps += 1
-                if steps > max_steps:
-                    raise RuntimeError("ADDS step limit exceeded")
-                chunk = near.pop(0)
-                if chunk.size > _CHUNK:
-                    near.insert(0, chunk[_CHUNK:])
-                    chunk = chunk[:_CHUNK]
-                in_near[chunk] = False
-                rounds += 1
-
-                batch = dgraph.batch(chunk, "all")
-                a = thread_per_vertex_edges(batch.counts)
-                out = relax_batch(k, dgraph, dist, chunk, batch, a, stats)
-                k.async_round()
-                if out.targets.size == 0:
-                    continue
-                upd = out.targets[out.updated]
-                if upd.size == 0:
-                    continue
-                # classify on the value the winning atomic wrote (register
-                # resident) rather than an un-counted host re-read of dist
-                is_near = out.new_dist[out.updated] < threshold
-                sub = subset_assignment(a, out.updated)
-                k.branch(sub, is_near)
-
-                fresh = np.unique(upd[is_near])
-                fresh = fresh[~in_near[fresh]]
-                if fresh.size:
-                    in_near[fresh] = True
-                    far_mask[fresh] = False
-                    near.append(fresh)
-                    a_push = thread_per_item(fresh.size)
-                    k.scatter(worklist_buf, fresh, fresh, a_push)
-                far_new = np.unique(upd[~is_near])
-                far_new = far_new[~in_near[far_new]]
-                if far_new.size:
-                    far_mask[far_new] = True
-                    a_far = thread_per_item(far_new.size)
-                    k.scatter(far_buf, far_new, far_new, a_far)
+        try:
+            with device.launch("adds_async") as k:
+                _adds_async(
+                    k, dgraph, dist, near, in_near, far_mask,
+                    worklist_buf, far_buf, stats, threshold,
+                    max_steps, cur_delta, counters,
+                )
+        except ConvergenceError as exc:
+            if runtime is None:
+                raise
+            runtime.recover(exc)
+            break  # the final repair sweeps restore the fixpoint
+        except InjectedKernelAbort as exc:
+            if runtime is None:
+                raise
+            near = _adds_reseed(runtime, exc, in_near, far_mask)
+            continue
         device.barrier()
+
+    if runtime is not None:
+        runtime.finish()
 
     return SSSPResult(
         dist=dist.data.copy(),
@@ -157,5 +148,72 @@ def adds_sssp(
         num_edges=graph.num_edges,
         extra={
             "timeline": device.timeline,
-            "rounds": rounds, "delta0": delta, "final_delta": cur_delta},
+            "rounds": counters["rounds"], "delta0": delta,
+            "final_delta": cur_delta},
+        faults=runtime.report if runtime is not None else None,
     )
+
+
+def _adds_async(
+    k, dgraph, dist, near, in_near, far_mask,
+    worklist_buf, far_buf, stats, threshold, max_steps, cur_delta, counters,
+):
+    """Drain the near worklist inside one persistent asynchronous kernel."""
+    while near:
+        counters["steps"] += 1
+        if counters["steps"] > max_steps:
+            raise ConvergenceError(
+                "ADDS step limit exceeded",
+                method="adds", iterations=counters["steps"] - 1,
+                frontier=sum(int(c.size) for c in near), delta=cur_delta,
+            )
+        chunk = near.pop(0)
+        if chunk.size > _CHUNK:
+            near.insert(0, chunk[_CHUNK:])
+            chunk = chunk[:_CHUNK]
+        in_near[chunk] = False
+        counters["rounds"] += 1
+
+        batch = dgraph.batch(chunk, "all")
+        a = thread_per_vertex_edges(batch.counts)
+        out = relax_batch(k, dgraph, dist, chunk, batch, a, stats)
+        k.async_round()
+        if out.targets.size == 0:
+            continue
+        upd = out.targets[out.updated]
+        if upd.size == 0:
+            continue
+        # classify on the value the winning atomic wrote (register
+        # resident) rather than an un-counted host re-read of dist
+        is_near = out.new_dist[out.updated] < threshold
+        sub = subset_assignment(a, out.updated)
+        k.branch(sub, is_near)
+
+        fresh = np.unique(upd[is_near])
+        fresh = fresh[~in_near[fresh]]
+        if fresh.size:
+            in_near[fresh] = True
+            far_mask[fresh] = False
+            near.append(fresh)
+            a_push = thread_per_item(fresh.size)
+            k.scatter(worklist_buf, fresh, fresh, a_push)
+        far_new = np.unique(upd[~is_near])
+        far_new = far_new[~in_near[far_new]]
+        if far_new.size:
+            far_mask[far_new] = True
+            a_far = thread_per_item(far_new.size)
+            k.scatter(far_buf, far_new, far_new, a_far)
+
+
+def _adds_reseed(runtime, exc, in_near, far_mask):
+    """Roll back after an aborted kernel and rebuild the near worklist.
+
+    Every finite vertex of the restored checkpoint re-enters the near set;
+    re-relaxing settled vertices costs extra work but cannot change a
+    correct distance.
+    """
+    fin = runtime.on_abort(exc)
+    in_near[:] = False
+    in_near[fin] = True
+    far_mask[:] = False
+    return [fin] if fin.size else []

@@ -14,11 +14,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.plan import InjectedKernelAbort
+from ..faults.runtime import make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import thread_per_vertex_edges
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
+from .errors import ConvergenceError
 from .relax import DeviceGraph, FrontierFlags, relax_batch
 from .result import SSSPResult
 
@@ -31,8 +34,18 @@ def bl_sssp(
     *,
     spec: GPUSpec = V100,
     max_iterations: int | None = None,
+    recovery=None,
 ) -> SSSPResult:
-    """Run the synchronous push-mode baseline on a simulated GPU."""
+    """Run the synchronous push-mode baseline on a simulated GPU.
+
+    ``max_iterations=None`` (the default) applies a finite safety bound of
+    ``n + 2`` iterations — unreachable on sane inputs (a frontier survives
+    at most ``n`` rounds), so tripping it means corrupted state and raises
+    :class:`~repro.sssp.errors.ConvergenceError` (or breaks to the repair
+    sweeps when ``recovery`` is on).  An explicit ``max_iterations`` keeps
+    the historical truncation semantics: stop and return the partial
+    distances.
+    """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for {n} vertices")
@@ -44,28 +57,52 @@ def bl_sssp(
     flags = FrontierFlags(device, n)
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
+    runtime = make_runtime(recovery, device, dgraph, dist, source, "bl")
+    default_bound = max_iterations is None
+    limit = (n + 2) if default_bound else max_iterations
 
     frontier = np.array([source], dtype=np.int64)
     iterations = 0
     while frontier.size:
         iterations += 1
-        if max_iterations is not None and iterations > max_iterations:
-            break
-        flags.new_round()
-        with device.launch("bl_relax") as k:
-            batch = dgraph.batch(frontier, "all")
-            # static load balancing: one thread per active vertex
-            a = thread_per_vertex_edges(batch.counts)
-            targets, updated = relax_batch(
-                k, dgraph, dist, frontier, batch, a, stats
+        if iterations > limit:
+            if not default_bound:
+                break  # caller-requested truncation: partial result
+            exc = ConvergenceError(
+                "iteration limit exceeded",
+                method="bl", iterations=iterations - 1,
+                frontier=int(frontier.size),
             )
-            if targets.size:
-                sub = subset_assignment(a, updated)
-                next_frontier = flags.push(k, targets[updated], sub)
-            else:
-                next_frontier = np.zeros(0, dtype=np.int64)
+            if runtime is None:
+                raise exc
+            runtime.recover(exc)
+            break  # the final repair sweeps restore the fixpoint
+        if runtime is not None:
+            runtime.epoch(int(frontier.size))
+        flags.new_round()
+        try:
+            with device.launch("bl_relax") as k:
+                batch = dgraph.batch(frontier, "all")
+                # static load balancing: one thread per active vertex
+                a = thread_per_vertex_edges(batch.counts)
+                targets, updated = relax_batch(
+                    k, dgraph, dist, frontier, batch, a, stats
+                )
+                if targets.size:
+                    sub = subset_assignment(a, updated)
+                    next_frontier = flags.push(k, targets[updated], sub)
+                else:
+                    next_frontier = np.zeros(0, dtype=np.int64)
+        except InjectedKernelAbort as exc:
+            if runtime is None:
+                raise
+            frontier = runtime.on_abort(exc)
+            continue
         device.barrier()  # synchronous mode: barrier every iteration
         frontier = next_frontier
+
+    if runtime is not None:
+        runtime.finish()
 
     dist_out = graph.to_original_order(dist.data.copy())
     source_out = (
@@ -83,4 +120,5 @@ def bl_sssp(
         extra={
             "timeline": device.timeline,
             "iterations": iterations},
+        faults=runtime.report if runtime is not None else None,
     )

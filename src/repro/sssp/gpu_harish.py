@@ -20,11 +20,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.plan import InjectedKernelAbort
+from ..faults.runtime import make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import thread_per_item, thread_per_vertex_edges
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
+from .errors import ConvergenceError
 from .relax import DeviceGraph, relax_batch
 from .result import SSSPResult
 
@@ -37,8 +40,15 @@ def harish_narayanan_sssp(
     *,
     spec: GPUSpec = V100,
     max_iterations: int | None = None,
+    recovery=None,
 ) -> SSSPResult:
-    """Run the topology-driven 2007 baseline on a simulated GPU."""
+    """Run the topology-driven 2007 baseline on a simulated GPU.
+
+    As for :func:`~repro.sssp.gpu_baseline.bl_sssp`, the default
+    ``max_iterations=None`` applies a finite ``n + 2`` safety bound that
+    raises :class:`~repro.sssp.errors.ConvergenceError` when tripped, while
+    an explicit bound keeps the historical truncate-and-return semantics.
+    """
     n = graph.num_vertices
     if not 0 <= source < n:
         raise ValueError(f"source {source} out of range for {n} vertices")
@@ -51,43 +61,78 @@ def harish_narayanan_sssp(
     device.host_store(mask, source, np.int8(1))
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
+    runtime = make_runtime(
+        recovery, device, dgraph, dist, source, "harish-narayanan"
+    )
+    default_bound = max_iterations is None
+    limit = (n + 2) if default_bound else max_iterations
 
     all_vertices = np.arange(n, dtype=np.int64)
     iterations = 0
     while True:
         iterations += 1
-        if max_iterations is not None and iterations > max_iterations:
-            break
+        if iterations > limit:
+            if not default_bound:
+                break  # caller-requested truncation: partial result
+            exc = ConvergenceError(
+                "iteration limit exceeded",
+                method="harish-narayanan", iterations=iterations - 1,
+                frontier=int(mask.data.sum()),
+            )
+            if runtime is None:
+                raise exc
+            runtime.recover(exc)
+            break  # the final repair sweeps restore the fixpoint
         active = np.flatnonzero(mask.data)
         if active.size == 0:
             break
-        with device.launch("hn_relax") as k:
-            # every vertex gets a thread and reads its mask (the
-            # topology-driven overhead: n loads per iteration)
-            a_all = thread_per_item(n)
-            flags = k.gather(mask, all_vertices, a_all)
-            k.branch(a_all, flags != 0)
-            # marked vertices clear their mask and relax all out-edges
-            sub = subset_assignment(a_all, flags != 0)
-            k.scatter(mask, active, np.zeros(active.size, dtype=np.int8), sub)
-            batch = dgraph.batch(active, "all")
-            a = thread_per_vertex_edges(batch.counts)
-            targets, updated = relax_batch(
-                k, dgraph, dist, active, batch, a, stats
-            )
-            if targets.size and updated.any():
-                # the original uses two kernels (relax into an updating-cost
-                # array, then commit) precisely because re-marking races the
-                # mask clear above; model that split with a device-wide sync
-                k.device_barrier()
-                sub_u = subset_assignment(a, updated)
+        if runtime is not None:
+            runtime.epoch(int(active.size))
+        try:
+            with device.launch("hn_relax") as k:
+                # every vertex gets a thread and reads its mask (the
+                # topology-driven overhead: n loads per iteration)
+                a_all = thread_per_item(n)
+                flags = k.gather(mask, all_vertices, a_all)
+                k.branch(a_all, flags != 0)
+                # marked vertices clear their mask and relax all out-edges
+                sub = subset_assignment(a_all, flags != 0)
                 k.scatter(
-                    mask,
-                    targets[updated],
-                    np.ones(int(updated.sum()), dtype=np.int8),
-                    sub_u,
+                    mask, active, np.zeros(active.size, dtype=np.int8), sub
                 )
+                batch = dgraph.batch(active, "all")
+                a = thread_per_vertex_edges(batch.counts)
+                targets, updated = relax_batch(
+                    k, dgraph, dist, active, batch, a, stats
+                )
+                if targets.size and updated.any():
+                    # the original uses two kernels (relax into an
+                    # updating-cost array, then commit) precisely because
+                    # re-marking races the mask clear above; model that
+                    # split with a device-wide sync
+                    k.device_barrier()
+                    sub_u = subset_assignment(a, updated)
+                    k.scatter(
+                        mask,
+                        targets[updated],
+                        np.ones(int(updated.sum()), dtype=np.int8),
+                        sub_u,
+                    )
+        except InjectedKernelAbort as exc:
+            if runtime is None:
+                raise
+            # the mask array is not checkpointed; conservatively re-mark
+            # every finite vertex so no relaxation is lost
+            fin = runtime.on_abort(exc)
+            device.host_store(
+                mask, all_vertices, np.zeros(n, dtype=np.int8)
+            )
+            device.host_store(mask, fin, np.ones(fin.size, dtype=np.int8))
+            continue
         device.barrier()
+
+    if runtime is not None:
+        runtime.finish()
 
     return SSSPResult(
         dist=dist.data.copy(),
@@ -99,4 +144,5 @@ def harish_narayanan_sssp(
         counters=device.counters,
         num_edges=graph.num_edges,
         extra={"timeline": device.timeline, "iterations": iterations},
+        faults=runtime.report if runtime is not None else None,
     )

@@ -13,11 +13,14 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..faults.plan import InjectedKernelAbort
+from ..faults.runtime import make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import grid_stride, thread_per_vertex_edges
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
+from .errors import ConvergenceError
 from .gpu_rdbs import default_delta
 from .relax import DeviceGraph, relax_batch
 from .result import SSSPResult
@@ -34,6 +37,7 @@ def nearfar_sssp(
     delta: float | None = None,
     spec: GPUSpec = V100,
     max_iterations: int = 10_000_000,
+    recovery=None,
 ) -> SSSPResult:
     """Run synchronous Near-Far on a simulated GPU."""
     n = graph.num_vertices
@@ -48,6 +52,7 @@ def nearfar_sssp(
     device.host_store(dist, source, 0.0)
     stats = WorkStats()
     stats.record(np.array([source]), np.array([0.0]), np.array([True]))
+    runtime = make_runtime(recovery, device, dgraph, dist, source, "near-far")
 
     threshold = delta
     near = np.array([source], dtype=np.int64)
@@ -64,10 +69,16 @@ def nearfar_sssp(
                 break
             min_far = float(dist.data[finite].min())
             threshold = max(threshold + delta, min_far + delta)
-            with device.launch("nearfar_split") as k:
-                a = grid_stride(candidates.size, _SCAN_THREADS)
-                dvals = k.gather(dist, candidates, a)
-                k.alu(a, ops=2)
+            try:
+                with device.launch("nearfar_split") as k:
+                    a = grid_stride(candidates.size, _SCAN_THREADS)
+                    dvals = k.gather(dist, candidates, a)
+                    k.alu(a, ops=2)
+            except InjectedKernelAbort as exc:
+                if runtime is None:
+                    raise
+                near, far_mask = _nearfar_reseed(runtime, exc, far_mask)
+                continue
             device.barrier()
             promote = candidates[dvals < threshold]
             far_mask[promote] = False
@@ -76,22 +87,38 @@ def nearfar_sssp(
 
         iterations += 1
         if iterations > max_iterations:
-            raise RuntimeError("near-far iteration limit exceeded")
+            exc = ConvergenceError(
+                "near-far iteration limit exceeded",
+                method="near-far", iterations=iterations - 1,
+                frontier=int(near.size), delta=delta,
+            )
+            if runtime is None:
+                raise exc
+            runtime.recover(exc)
+            break  # the final repair sweeps restore the fixpoint
+        if runtime is not None:
+            runtime.epoch(int(near.size))
         settled_below[near] = True
-        with device.launch("nearfar_relax") as k:
-            batch = dgraph.batch(near, "all")
-            a = thread_per_vertex_edges(batch.counts)
-            out = relax_batch(k, dgraph, dist, near, batch, a, stats)
-            if out.targets.size:
-                upd_targets = out.targets[out.updated]
-                # classify on the value the winning atomic wrote — the
-                # register-resident result, not an un-counted dist re-read
-                is_near = out.new_dist[out.updated] < threshold
-                sub = subset_assignment(a, out.updated)
-                k.branch(sub, is_near)
-            else:
-                upd_targets = np.zeros(0, dtype=np.int64)
-                is_near = np.zeros(0, dtype=bool)
+        try:
+            with device.launch("nearfar_relax") as k:
+                batch = dgraph.batch(near, "all")
+                a = thread_per_vertex_edges(batch.counts)
+                out = relax_batch(k, dgraph, dist, near, batch, a, stats)
+                if out.targets.size:
+                    upd_targets = out.targets[out.updated]
+                    # classify on the value the winning atomic wrote — the
+                    # register-resident result, not an un-counted dist re-read
+                    is_near = out.new_dist[out.updated] < threshold
+                    sub = subset_assignment(a, out.updated)
+                    k.branch(sub, is_near)
+                else:
+                    upd_targets = np.zeros(0, dtype=np.int64)
+                    is_near = np.zeros(0, dtype=bool)
+        except InjectedKernelAbort as exc:
+            if runtime is None:
+                raise
+            near, far_mask = _nearfar_reseed(runtime, exc, far_mask)
+            continue
         device.barrier()
 
         near_next = np.unique(upd_targets[is_near])
@@ -100,6 +127,9 @@ def nearfar_sssp(
         # a vertex pulled below the threshold leaves the far pile
         far_mask[near_next] = False
         near = near_next
+
+    if runtime is not None:
+        runtime.finish()
 
     return SSSPResult(
         dist=dist.data.copy(),
@@ -113,4 +143,19 @@ def nearfar_sssp(
         extra={
             "timeline": device.timeline,
             "iterations": iterations, "delta": delta},
+        faults=runtime.report if runtime is not None else None,
     )
+
+
+def _nearfar_reseed(runtime, exc, far_mask):
+    """Roll back after an aborted kernel and rebuild the worklist.
+
+    Every finite vertex of the restored checkpoint goes to the far pile;
+    the next threshold advance re-promotes whatever still needs work.
+    Re-relaxing already-settled vertices costs extra work but cannot
+    change a correct distance.
+    """
+    fin = runtime.on_abort(exc)
+    far_mask[:] = False
+    far_mask[fin] = True
+    return np.zeros(0, dtype=np.int64), far_mask

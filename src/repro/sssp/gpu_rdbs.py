@@ -27,6 +27,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..faults.plan import InjectedKernelAbort
+from ..faults.runtime import Watchdog, WatchdogTimeout, make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.compaction import compact
 from ..gpusim.device import GPUDevice, KernelContext
@@ -41,10 +43,16 @@ from ..metrics.recorder import TraceRecorder
 from ..metrics.workstats import WorkStats
 from ..reorder.pipeline import apply_pro
 from .buckets import DeltaController
+from .errors import ConvergenceError
 from .relax import DeviceGraph, relax_batch
 from .result import SSSPResult
 
-__all__ = ["rdbs_sssp", "default_delta"]
+__all__ = ["rdbs_sssp", "default_delta", "BUCKET_RESCALE"]
+
+#: factor Δ is widened by when the bucket-limit graceful-degradation retry
+#: fires (a fixed factor keeps the retry deterministic and lets genuinely
+#: hopeless Δ/limit combinations still fail fast)
+BUCKET_RESCALE = 8.0
 
 #: active vertices processed per asynchronous micro-round; newly activated
 #: vertices become visible to the following micro-round, which is how the
@@ -90,6 +98,7 @@ def rdbs_sssp(
     record_trace: bool = False,
     max_buckets: int = 1_000_000,
     async_chunk: int = ASYNC_CHUNK,
+    recovery=None,
 ) -> SSSPResult:
     """Run the RDBS engine (or any ablation arm) on a simulated GPU.
 
@@ -97,6 +106,16 @@ def rdbs_sssp(
     relabels internally.  ``async_chunk`` sets how many active vertices
     each asynchronous micro-round drains (smaller = fresher distances /
     fewer redundant updates, larger = fewer scheduling rounds).
+
+    ``recovery`` (``True`` or a :class:`repro.faults.RecoveryPolicy`)
+    enables the self-healing runtime: epoch checkpoints, invariant probes,
+    an async-phase watchdog that degrades BASYN to synchronous execution,
+    and final verify/repair sweeps.  Off (``None``) it costs nothing.
+
+    When the bucket limit trips, the engine degrades gracefully once:
+    Δ is widened by :data:`BUCKET_RESCALE` and the search restarts (the
+    result's ``extra["delta_rescaled"]`` records it); a second trip raises
+    :class:`~repro.sssp.errors.ConvergenceError`.
     """
     if async_chunk < 1:
         raise ValueError("async_chunk must be >= 1")
@@ -107,6 +126,41 @@ def rdbs_sssp(
         delta = default_delta(graph)
     if delta <= 0:
         raise ValueError("delta must be positive")
+
+    try:
+        return _rdbs_run(
+            graph, source, delta=delta, pro=pro, adwl=adwl, basyn=basyn,
+            spec=spec, record_trace=record_trace, max_buckets=max_buckets,
+            async_chunk=async_chunk, recovery=recovery, rescaled=False,
+        )
+    except ConvergenceError as exc:
+        if "bucket limit" not in exc.reason:
+            raise
+        return _rdbs_run(
+            graph, source, delta=delta * BUCKET_RESCALE, pro=pro, adwl=adwl,
+            basyn=basyn, spec=spec, record_trace=record_trace,
+            max_buckets=max_buckets, async_chunk=async_chunk,
+            recovery=recovery, rescaled=True,
+        )
+
+
+def _rdbs_run(
+    graph: CSRGraph,
+    source: int,
+    *,
+    delta: float,
+    pro: bool,
+    adwl: bool,
+    basyn: bool,
+    spec: GPUSpec,
+    record_trace: bool,
+    max_buckets: int,
+    async_chunk: int,
+    recovery,
+    rescaled: bool,
+) -> SSSPResult:
+    """One full search at a fixed Δ (see :func:`rdbs_sssp`)."""
+    n = graph.num_vertices
 
     # ------------------------------------------------------------------
     # preprocessing (not timed, matching the paper's methodology)
@@ -135,7 +189,10 @@ def rdbs_sssp(
     trace = TraceRecorder() if record_trace else None
     bucket_phase1: list[WorkStats] = []
 
-    controller = DeltaController(delta) if basyn else None
+    runtime = make_runtime(recovery, device, dgraph, dist, src, "rdbs")
+    #: live BASYN toggle — the watchdog degrades it to synchronous mid-run
+    basyn_active = basyn
+    controller = DeltaController(delta) if basyn_active else None
     lo = 0.0
     buckets_processed = 0
     total_rounds = 0
@@ -144,6 +201,8 @@ def rdbs_sssp(
         unsettled = np.isfinite(dist.data) & (dist.data >= lo)
         if not unsettled.any():
             break
+        if runtime is not None:
+            runtime.epoch(int(unsettled.sum()), mark=lo)
         min_unsettled = float(dist.data[unsettled].min())
 
         # next bucket interval: dynamic (Eq. 1–2) or fixed width
@@ -171,7 +230,13 @@ def rdbs_sssp(
 
         buckets_processed += 1
         if buckets_processed > max_buckets:
-            raise RuntimeError("bucket limit exceeded; check delta/weights")
+            raise ConvergenceError(
+                "bucket limit exceeded; check delta/weights",
+                method="rdbs",
+                iterations=buckets_processed - 1,
+                frontier=int(members.size),
+                delta=delta,
+            )
         device.annotate(
             "bucket", index=bucket_id, lo=b_lo, hi=b_hi, active=members
         )
@@ -189,32 +254,55 @@ def rdbs_sssp(
         # their offsets on device (§4.1's adaptive offsets); unsorted arms
         # just raise the branch threshold.
         b_width = b_hi - b_lo
-        if use_offsets and b_width > dgraph.split_delta * (1 + 1e-12):
-            dgraph.resplit(b_width)
-        split = max(b_width, dgraph.split_delta) if use_offsets else b_width
-
-        if basyn:
-            outcome = _phase1_async(
-                device, dgraph, dist, members, b_lo, b_hi, split,
-                pro=use_offsets, adwl=adwl, stats=stats, p1_stats=p1_stats,
-                in_queue=in_queue, trace=trace, chunk_size=async_chunk,
+        try:
+            if use_offsets and b_width > dgraph.split_delta * (1 + 1e-12):
+                dgraph.resplit(b_width)
+            split = (
+                max(b_width, dgraph.split_delta) if use_offsets else b_width
             )
-        else:
-            outcome = _phase1_sync(
-                device, dgraph, dist, members, b_lo, b_hi, split,
-                pro=use_offsets, adwl=adwl, stats=stats, p1_stats=p1_stats,
-                trace=trace,
-            )
-        total_rounds += outcome.rounds
-        device.annotate("settled", vertices=outcome.settled)
+            if basyn_active:
+                watchdog = (
+                    runtime.new_watchdog(int(members.size), async_chunk)
+                    if runtime is not None else None
+                )
+                outcome = _phase1_async(
+                    device, dgraph, dist, members, b_lo, b_hi, split,
+                    pro=use_offsets, adwl=adwl, stats=stats, p1_stats=p1_stats,
+                    in_queue=in_queue, trace=trace, chunk_size=async_chunk,
+                    watchdog=watchdog,
+                )
+            else:
+                outcome = _phase1_sync(
+                    device, dgraph, dist, members, b_lo, b_hi, split,
+                    pro=use_offsets, adwl=adwl, stats=stats, p1_stats=p1_stats,
+                    trace=trace,
+                )
+            total_rounds += outcome.rounds
+            device.annotate("settled", vertices=outcome.settled)
 
-        # ------------------------------------------------------------------
-        # phases 2 & 3: heavy edges + next-bucket scan (one fused kernel)
-        # ------------------------------------------------------------------
-        _phase23_fused(
-            device, dgraph, dist, outcome.settled, split,
-            pro=use_offsets, stats=stats, candidate_buf=candidate_buf,
-        )
+            # --------------------------------------------------------------
+            # phases 2 & 3: heavy edges + next-bucket scan (one fused kernel)
+            # --------------------------------------------------------------
+            _phase23_fused(
+                device, dgraph, dist, outcome.settled, split,
+                pro=use_offsets, stats=stats, candidate_buf=candidate_buf,
+            )
+        except (WatchdogTimeout, InjectedKernelAbort) as exc:
+            if runtime is None:
+                raise
+            # graceful degradation: roll back to the last good checkpoint
+            # (bounded retry) and finish the search without BASYN
+            mark = runtime.recover(exc, lo)
+            lo = 0.0 if mark is None else float(mark)
+            in_queue[:] = False
+            if basyn_active:
+                basyn_active = False
+                controller = None
+                runtime.note_degraded()
+            bucket_phase1.append(p1_stats)
+            if trace is not None:
+                trace.end_bucket(device.time_s - t_start)
+            continue
         device.barrier()  # synchronous mode between buckets
 
         if controller is not None:
@@ -224,6 +312,8 @@ def rdbs_sssp(
             trace.end_bucket(device.time_s - t_start)
         lo = b_hi
 
+    if runtime is not None:
+        runtime.finish()
     tally = stats.finalize(dist.data)
     if trace is not None:
         for bucket, p1 in zip(trace.buckets, bucket_phase1):
@@ -252,7 +342,9 @@ def rdbs_sssp(
             "pro": pro,
             "adwl": adwl,
             "basyn": basyn,
+            "delta_rescaled": rescaled,
         },
+        faults=runtime.report if runtime is not None else None,
     )
 
 
@@ -339,6 +431,7 @@ def _phase1_async(
     in_queue: np.ndarray,
     trace: TraceRecorder | None,
     chunk_size: int = ASYNC_CHUNK,
+    watchdog: Watchdog | None = None,
 ) -> _BucketOutcome:
     """BASYN phase 1: one persistent kernel draining the workload lists.
 
@@ -375,6 +468,8 @@ def _phase1_async(
             in_queue[chunk] = False
             settled_mask[chunk] = True
             rounds += 1
+            if watchdog is not None:
+                watchdog.tick()
             if trace is not None:
                 trace.iteration(int(chunk.size))
 

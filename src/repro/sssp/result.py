@@ -3,12 +3,16 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from ..gpusim.counters import DeviceCounters
 from ..metrics.recorder import TraceRecorder
 from ..metrics.workstats import WorkTally
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults.report import FaultReport
 
 __all__ = ["SSSPResult"]
 
@@ -47,6 +51,10 @@ class SSSPResult:
     extra:
         implementation-specific diagnostics (bucket count, iteration
         counts, final Δ, ...).
+    faults:
+        the :class:`~repro.faults.report.FaultReport` of a run executed
+        under fault injection / the self-healing runtime; ``None`` for
+        plain runs.
     """
 
     dist: np.ndarray
@@ -59,6 +67,7 @@ class SSSPResult:
     trace: TraceRecorder | None = None
     num_edges: int = 0
     extra: dict = field(default_factory=dict)
+    faults: "FaultReport | None" = None
 
     @property
     def gteps(self) -> float:
