@@ -16,6 +16,7 @@ from pathlib import Path
 from ..graphs.csr import CSRGraph
 from ..gpusim.spec import GPUSpec
 from ..metrics.gteps import geometric_mean
+from ..perf import profile as hostprof
 from ..sssp.api import sssp
 from ..sssp.result import SSSPResult
 from ..sssp.validate import validate_distances
@@ -104,10 +105,12 @@ def run_method(
         if method in gpu_methods:
             kw.setdefault("spec", spec)
         t0 = time.perf_counter()
-        r = sssp(g, s, method=method, **kw)
+        with hostprof.region(f"solve:{method}"):
+            r = sssp(g, s, method=method, **kw)
         host_seconds += time.perf_counter() - t0
         if validate:
-            validate_distances(g, s, r.dist)
+            with hostprof.region("validate"):
+                validate_distances(g, s, r.dist)
         results.append(r)
     times = [r.time_ms for r in results]
     ratios = [r.work.update_ratio for r in results if r.work is not None]

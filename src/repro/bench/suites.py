@@ -58,12 +58,37 @@ def suite_names() -> list[str]:
     return sorted(SUITES)
 
 
-def run_suite(name: str, *, progress=None) -> list[BenchRecord]:
+def _run_cell(suite: str, dataset: str, method: str) -> BenchRecord:
+    """One (dataset, method) cell — the unit of process parallelism.
+
+    Module-level so :mod:`repro.perf.parallel` can ship it to worker
+    processes; each worker runs the identical simulation the serial path
+    would, so the resulting record differs only in host wall fields.
+    """
+    spec = SUITES[suite]
+    run = run_method(dataset, method, num_sources=spec.num_sources)
+    return record_from_run(run)
+
+
+def _progress_line(rec: BenchRecord) -> str:
+    return (
+        f"  {rec.dataset:>10s} {rec.method:<16s} "
+        f"{rec.time_ms:9.4f} ms  ({rec.host_seconds:.2f} s host)"
+    )
+
+
+def run_suite(name: str, *, progress=None, jobs: int = 1) -> list[BenchRecord]:
     """Run every cell of suite ``name`` and return its records.
 
     ``progress`` is an optional callable taking one status string (the CLI
     passes ``print``); every run is validated against the SciPy oracle by
     ``run_method`` before being recorded.
+
+    ``jobs > 1`` fans the independent (dataset × method) cells over that
+    many worker processes (``0`` = all cores).  Records come back in the
+    same deterministic suite order as a serial run, and every device
+    quantity (counters, simulated time) is identical — only host
+    wall-clock fields can differ run to run.
     """
     try:
         spec = SUITES[name]
@@ -71,16 +96,22 @@ def run_suite(name: str, *, progress=None) -> list[BenchRecord]:
         raise ValueError(
             f"unknown suite {name!r}; choose from {', '.join(suite_names())}"
         ) from None
+    from ..perf import profile
+    from ..perf.parallel import resolve_jobs, run_tasks
+
+    cells = [(name, d, m) for d in spec.datasets for m in spec.methods]
+    jobs = resolve_jobs(jobs)
+    if jobs > 1:
+        records = run_tasks(_run_cell, cells, jobs)
+        if progress is not None:
+            for rec in records:
+                progress(_progress_line(rec))
+        return records
     records: list[BenchRecord] = []
-    for dataset in spec.datasets:
-        for method in spec.methods:
-            run = run_method(
-                dataset, method, num_sources=spec.num_sources
-            )
-            records.append(record_from_run(run))
-            if progress is not None:
-                progress(
-                    f"  {dataset:>10s} {method:<16s} "
-                    f"{run.time_ms:9.4f} ms  ({run.host_seconds:.2f} s host)"
-                )
+    for suite, dataset, method in cells:
+        with profile.region(f"cell:{dataset}/{method}"):
+            rec = _run_cell(suite, dataset, method)
+        records.append(rec)
+        if progress is not None:
+            progress(_progress_line(rec))
     return records

@@ -4,7 +4,8 @@ Commands
 --------
 ``solve``     run one SSSP method on a graph and print the measurements
 ``compare``   run several methods on one graph, print a comparison table
-``profile``   run one method and print the kernel timeline / bottlenecks
+``profile``   run one method and print the kernel timeline / bottlenecks,
+              or ``--suite NAME`` for a host wall-time profile of a suite
 ``datasets``  list the bundled Table-1 surrogate datasets
 ``sanitize``  run one method under the hazard sanitizer and report findings
 ``faults``    run one method under deterministic fault injection and the
@@ -12,6 +13,8 @@ Commands
 ``lint``      statically check kernel-authoring rules (repro-lint)
 ``bench``     continuous benchmarking: run suites, gate against baselines,
               diff trajectory files (``bench run | check | diff``)
+``cache``     inspect or clear the persistent artifact cache
+              (``cache status | clear``)
 
 Graphs are specified with a compact ``kind:args`` syntax::
 
@@ -153,6 +156,11 @@ def _cmd_compare(args) -> int:
 
 
 def _cmd_profile(args) -> int:
+    if args.suite:
+        return _profile_suite(args)
+    if not args.graph:
+        raise SystemExit("profile: provide a graph spec, or --suite NAME "
+                         "for a host-time suite profile")
     graph = parse_graph_spec(args.graph, seed=args.seed)
     source = _pick_source(graph, args.source)
     r = sssp(graph, source, method=args.method, **_gpu_kwargs(args, args.method))
@@ -171,6 +179,74 @@ def _cmd_profile(args) -> int:
         f"hit={c.global_hit_rate:.1f}% "
         f"simt_eff={c.simt_efficiency:.2f}"
     )
+    return 0
+
+
+def _profile_suite(args) -> int:
+    """Host wall-time profile of one bench suite (``profile --suite``).
+
+    Times named host regions (generation, preprocessing, per-kernel
+    accounting, solver calls) across a full suite run and reports them
+    next to the artifact-cache statistics — the report that demonstrates
+    the host-optimization layer's speedup.  With ``--jobs`` > 1 the cells
+    run in worker processes, whose region timings stay in the workers;
+    profile with the default serial run for a complete breakdown.
+    """
+    import time
+
+    from .bench import run_suite
+    from .perf import cache_stats
+    from .perf.profile import profiling
+
+    with profiling() as prof:
+        t0 = time.perf_counter()
+        records = run_suite(args.suite, jobs=args.jobs)
+        wall = time.perf_counter() - t0
+    solver = sum(r.host_seconds for r in records)
+    print(f"suite {args.suite!r}: {len(records)} cell(s), jobs={args.jobs}")
+    print(f"host wall {wall:.2f} s, solver host {solver:.2f} s\n")
+    print(prof.format_table())
+    st = cache_stats()
+    s = st["session"]
+    print(
+        f"\nartifact cache: {st['entries']} entr(y/ies), "
+        f"{st['bytes'] / 1e6:.1f} MB at {st['root']} "
+        f"(session: {s['hits']} hit(s), {s['misses']} miss(es))"
+    )
+    if args.json:
+        prof.write_json(
+            args.json,
+            extra={
+                "suite": args.suite,
+                "jobs": args.jobs,
+                "suite_wall_seconds": wall,
+                "solver_host_seconds": solver,
+                "cache": st,
+            },
+        )
+        print(f"wrote host-profile report to {args.json}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    """Inspect or clear the persistent artifact cache."""
+    from .perf import artifacts
+
+    store = artifacts.get_cache()
+    if args.cache_command == "clear":
+        removed = store.clear()
+        print(f"removed {removed} entr(y/ies) from {store.root}")
+        return 0
+    st = store.status()
+    print(f"root    : {st['root']}")
+    print(f"enabled : {st['enabled']}")
+    print(f"entries : {st['entries']} ({st['bytes'] / 1e6:.1f} MB, "
+          f"cap {st['max_bytes'] / 1e6:.0f} MB)")
+    for cat, n in st["categories"].items():
+        print(f"  {cat:<12s} {n}")
+    s = st["session"]
+    print(f"session : {s['hits']} hit(s), {s['misses']} miss(es), "
+          f"{s['stores']} store(s), {s['rejected']} rejected")
     return 0
 
 
@@ -285,8 +361,8 @@ def _cmd_bench_run(args) -> int:
     """Run a named suite and write its ``BENCH_<suite>.json`` trajectory."""
     from .bench import run_suite, write_trajectory
 
-    print(f"running bench suite {args.suite!r} ...")
-    records = run_suite(args.suite, progress=print)
+    print(f"running bench suite {args.suite!r} (jobs={args.jobs}) ...")
+    records = run_suite(args.suite, progress=print, jobs=args.jobs)
     out = Path(args.out) if args.out else Path(f"BENCH_{args.suite}.json")
     write_trajectory(out, records, suite=args.suite)
     print(f"wrote {len(records)} record(s) to {out}")
@@ -315,7 +391,7 @@ def _cmd_bench_check(args) -> int:
     else:
         suite = meta.get("suite", "quick")
         print(f"running suite {suite!r} against baseline {args.baseline}")
-        current = run_suite(suite, progress=print)
+        current = run_suite(suite, progress=print, jobs=args.jobs)
     report = compare_records(
         baseline, current,
         wall_tolerance=args.wall_tolerance,
@@ -370,8 +446,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command")
 
-    def common(sp):
-        sp.add_argument("graph", help="graph spec (kind:args, dataset, or file)")
+    def common(sp, graph_required=True):
+        if graph_required:
+            sp.add_argument(
+                "graph", help="graph spec (kind:args, dataset, or file)"
+            )
+        else:
+            sp.add_argument(
+                "graph", nargs="?", default=None,
+                help="graph spec (kind:args, dataset, or file)",
+            )
         sp.add_argument("--source", default="auto",
                         help="source vertex id or 'auto' (default)")
         sp.add_argument("--seed", type=int, default=0)
@@ -391,9 +475,20 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--methods", default="bl,adds,rdbs")
     sp.set_defaults(fn=_cmd_compare)
 
-    sp = sub.add_parser("profile", help="kernel timeline of one method")
-    common(sp)
+    sp = sub.add_parser(
+        "profile",
+        help="kernel timeline of one method, or --suite host-time profile",
+    )
+    common(sp, graph_required=False)
     sp.add_argument("--method", default="rdbs", choices=method_names())
+    from .bench.suites import suite_names as _profile_suites
+
+    sp.add_argument("--suite", default=None, choices=_profile_suites(),
+                    help="profile host wall-time of a bench suite instead")
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for --suite (0 = all cores)")
+    sp.add_argument("--json", default=None, metavar="PATH",
+                    help="also write the --suite report as JSON")
     sp.set_defaults(fn=_cmd_profile)
 
     sp = sub.add_parser(
@@ -437,6 +532,8 @@ def build_parser() -> argparse.ArgumentParser:
     bp.add_argument("--suite", default="quick", choices=_suite_names())
     bp.add_argument("--out", default=None,
                     help="output path (default BENCH_<suite>.json in cwd)")
+    bp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for suite cells (0 = all cores)")
     bp.set_defaults(fn=_cmd_bench_run)
 
     bp = bench_sub.add_parser(
@@ -450,6 +547,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="relative host wall-clock slack (default 0.25)")
     bp.add_argument("--no-wall", action="store_true",
                     help="skip the wall-clock tier (cross-machine gating)")
+    bp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for the re-run (0 = all cores)")
     bp.set_defaults(fn=_cmd_bench_check)
 
     bp = bench_sub.add_parser(
@@ -458,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
     bp.add_argument("a", help="left trajectory file")
     bp.add_argument("b", help="right trajectory file")
     bp.set_defaults(fn=_cmd_bench_diff)
+
+    sp = sub.add_parser(
+        "cache", help="inspect or clear the persistent artifact cache"
+    )
+    cache_sub = sp.add_subparsers(dest="cache_command", required=True)
+    cache_sub.add_parser("status", help="entry counts, size, hit stats")
+    cache_sub.add_parser("clear", help="delete every cache entry")
+    sp.set_defaults(fn=_cmd_cache)
 
     sp = sub.add_parser("datasets", help="list bundled dataset surrogates")
     sp.set_defaults(fn=_cmd_datasets)

@@ -29,8 +29,9 @@ from __future__ import annotations
 import numpy as np
 
 from .spec import GPUSpec
+from ..util.scan import stable_sort_with_order
 
-__all__ = ["CacheModel", "reuse_gaps"]
+__all__ = ["CacheModel", "CacheStream", "reuse_gaps"]
 
 
 def reuse_gaps(lines: np.ndarray) -> np.ndarray:
@@ -93,3 +94,176 @@ class CacheModel:
     def hit_count(self, lines: np.ndarray) -> int:
         """Number of hits in the given transaction stream."""
         return int(self.hits(lines).sum())
+
+
+class CacheStream:
+    """Incremental launch-at-a-time evaluation of the rolling device stream.
+
+    The device models L2 persistence across launches by prepending the tail
+    (last ``capacity_sectors`` transactions) of the preceding launches to
+    each launch's load stream before resolving hits.  Evaluating that
+    naively costs a full sort + unique over ``tail + lines`` per launch,
+    which makes *short* kernels pay O(capacity) host time regardless of how
+    little they load — the dominant host cost of bucket-at-a-time engines
+    that issue thousands of small launches.
+
+    This class keeps, instead of the tail array, the *last absolute
+    position* of every sector still inside the tail window.  Per launch it
+    sorts only the launch's own lines and resolves cross-launch reuse with
+    one ``searchsorted`` against the known-sector table, reproducing
+    ``CacheModel.hits(tail + lines)[len(tail):]`` **bit for bit**:
+
+    * a gap within the launch equals the :func:`reuse_gaps` value;
+    * a first-touch whose sector last occurred at absolute position ``p``
+      with ``p >= tail_start`` gets gap ``pos - p`` (identical to its
+      position difference inside the concatenated stream);
+    * the working-set size ``U`` equals the distinct-sector count of the
+      concatenated stream: sectors alive in the tail plus launch sectors
+      not already among them;
+    * the hit predicate then applies the very same footprint formula on
+      the very same integers, so the floats match exactly.
+
+    Equivalence is locked in by ``tests/test_perf_device_fastpaths.py``,
+    which replays random streams through both implementations.
+    """
+
+    def __init__(self, model: CacheModel) -> None:
+        self.model = model
+        self.capacity = model.capacity_sectors
+        #: sorted distinct sector ids seen and still potentially reusable
+        self._sectors = np.zeros(0, dtype=np.int64)
+        #: absolute stream position of each sector's most recent access
+        self._last = np.zeros(0, dtype=np.int64)
+        #: total transactions observed so far (absolute stream length)
+        self._total = 0
+
+    def hit_count(self, lines: np.ndarray) -> int:
+        """Resolve one launch's load stream; returns its hit count."""
+        n = int(lines.size)
+        if n == 0:
+            return 0
+        lines = np.ascontiguousarray(lines, dtype=np.int64)
+        start = self._total
+        tail_start = start - min(self.capacity, start)
+
+        # one stable sort of *this launch only*: within-launch gaps plus the
+        # first/last occurrence of every distinct sector.  The dominant
+        # streams (full contiguous-array scans) arrive already sorted —
+        # slot-major coalescing emits ascending sectors — so detect that
+        # with one comparison pass and skip the sort and both reorders;
+        # duplicates are then adjacent, making every within-launch gap 1.
+        if n > 1 and bool((lines[1:] >= lines[:-1]).all()):
+            same1 = lines[1:] == lines[:-1]
+            same = np.zeros(n, dtype=bool)
+            same[1:] = same1
+            gaps = np.full(n, -1, dtype=np.int64)
+            gaps[1:][same1] = 1
+            group_starts = np.flatnonzero(~same)
+            uniq = lines[group_starts]
+            first_pos = group_starts
+            last_pos = np.concatenate([group_starts[1:], [n]]) - 1
+        else:
+            sorted_lines, sorted_pos = stable_sort_with_order(lines)
+            order = sorted_pos
+            same = np.zeros(n, dtype=bool)
+            same1 = sorted_lines[1:] == sorted_lines[:-1]
+            same[1:] = same1
+            gaps_sorted = np.full(n, -1, dtype=np.int64)
+            gaps_sorted[1:][same1] = (
+                sorted_pos[1:][same1] - sorted_pos[:-1][same1]
+            )
+            gaps = np.empty(n, dtype=np.int64)
+            gaps[order] = gaps_sorted
+            group_starts = np.flatnonzero(~same)
+            uniq = sorted_lines[group_starts]
+            first_pos = sorted_pos[group_starts]
+            group_ends = np.concatenate([group_starts[1:], [n]]) - 1
+            last_pos = sorted_pos[group_ends]
+
+        # cross-launch reuse: look the launch's sectors up in the table
+        size = self._sectors.size
+        if size:
+            idx = np.searchsorted(self._sectors, uniq)
+            safe = np.minimum(idx, size - 1)
+            found = (idx < size) & (self._sectors[safe] == uniq)
+            prev = np.where(found, self._last[safe], np.int64(-1))
+        else:
+            safe = np.zeros(uniq.size, dtype=np.int64)
+            found = np.zeros(uniq.size, dtype=bool)
+            prev = np.full(uniq.size, -1, dtype=np.int64)
+        warm = found & (prev >= tail_start)
+
+        # U of the virtual (tail + lines) stream; counted before the update
+        in_tail = int(np.count_nonzero(self._last >= tail_start))
+        u_total = in_tail + int(uniq.size) - int(np.count_nonzero(warm))
+
+        # splice the cross-launch gaps into the first-touch positions
+        warm_pos = first_pos[warm]
+        gaps[warm_pos] = (start + warm_pos) - prev[warm]
+
+        # the footprint predicate.  ``d(t) = u * (1 - (1 - 1/u)**t)`` is
+        # strictly increasing in ``t``, so instead of evaluating the
+        # transcendentals per line, binary-search the largest integer gap
+        # still within capacity — each probe evaluates the *same* ufunc
+        # expression CacheModel.hits runs elementwise (numpy's float64
+        # expm1/log1p have a single scalar inner loop, so a 1-element probe
+        # is bit-identical to the corresponding element of a bulk call) —
+        # and count gaps by integer comparison
+        hits = 0
+        max_gap = int(gaps.max())
+        if max_gap >= 0:
+            u = float(u_total)
+            if u_total <= self.capacity:
+                # d(t) = u * -expm1(t * log1p(-1/u)) never exceeds u in IEEE
+                # (expm1 saturates at -1), so a working set within capacity
+                # makes every reuse a hit — no transcendentals needed
+                hits = int(np.count_nonzero(gaps >= 0))
+            else:
+                log_base = np.log1p(-1.0 / u)
+                def within(t: int) -> bool:
+                    d = u * -np.expm1(
+                        np.array([float(t)]) * log_base
+                    )
+                    return bool(d[0] <= self.capacity)
+                if within(max_gap):
+                    hits = int(np.count_nonzero(gaps >= 0))
+                elif not within(1):
+                    hits = 0
+                else:
+                    lo, hi = 1, max_gap  # within(lo), not within(hi)
+                    while hi - lo > 1:
+                        mid = (lo + hi) // 2
+                        if within(mid):
+                            lo = mid
+                        else:
+                            hi = mid
+                    hits = int(np.count_nonzero((gaps >= 0) & (gaps <= lo)))
+
+        # fold the launch into the table
+        self._last[safe[found]] = start + last_pos[found]
+        fresh = ~found
+        nf = int(np.count_nonzero(fresh))
+        if nf:
+            # one hand-rolled merge for both columns (np.insert twice would
+            # recompute the same destination mask)
+            ins = np.searchsorted(self._sectors, uniq[fresh])
+            dest = ins + np.arange(nf, dtype=np.int64)
+            new_sectors = np.empty(size + nf, dtype=np.int64)
+            new_last = np.empty(size + nf, dtype=np.int64)
+            old_mask = np.ones(size + nf, dtype=bool)
+            old_mask[dest] = False
+            new_sectors[dest] = uniq[fresh]
+            new_last[dest] = start + last_pos[fresh]
+            new_sectors[old_mask] = self._sectors
+            new_last[old_mask] = self._last
+            self._sectors = new_sectors
+            self._last = new_last
+        self._total = start + n
+        # entries that fell out of the tail window can never be reused;
+        # compact occasionally so the table stays O(capacity)
+        if self._sectors.size > max(4 * self.capacity, 1024):
+            cut = self._total - min(self.capacity, self._total)
+            keep = self._last >= cut
+            self._sectors = self._sectors[keep]
+            self._last = self._last[keep]
+        return hits

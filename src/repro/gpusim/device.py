@@ -29,27 +29,111 @@ rules.
 
 from __future__ import annotations
 
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace as _dc_replace
 from typing import Iterator
 
 import numpy as np
 
-from .cachemodel import CacheModel
+from .cachemodel import CacheModel, CacheStream
 from .counters import DeviceCounters, KernelCounters
 from .kernels import WorkAssignment
 from .memory import BumpAllocator, DeviceArray, coalesce
 from .spec import GPUSpec, V100
 from .timemodel import kernel_time
-from ..util.scan import serialized_min_outcome
+from ..perf.profile import active_profiler
+from ..util.scan import (
+    distinct_count,
+    serialized_min_outcome,
+    stable_sort_with_order,
+)
 
 __all__ = [
     "GPUDevice",
     "KernelContext",
+    "ObserverList",
     "subset_assignment",
     "register_global_observer",
     "unregister_global_observer",
 ]
+
+#: every event name the device (and the multi-GPU runtime) dispatches;
+#: the attach-time dispatch table is built over exactly this set
+OBSERVER_EVENTS = (
+    "on_access",
+    "on_alloc",
+    "on_annotate",
+    "on_device_barrier",
+    "on_host_write",
+    "on_kernel_begin",
+    "on_kernel_end",
+    "transform_read",
+    "transform_atomic",
+    "transform_exchange",
+)
+
+_NO_HANDLERS: tuple = ()
+
+
+class ObserverList(list):
+    """The device's observer list; mutation rebuilds the dispatch table.
+
+    Observers attach by plain list mutation (``device.observers.append``),
+    which historically forced ``_notify`` to probe every observer with
+    ``getattr`` on every event.  This subclass keeps that public API but
+    tells the owning device to re-bind its per-event handler tuples
+    whenever membership changes, so the per-event cost collapses to one
+    dict lookup over pre-bound methods (and to a single falsy check when
+    no observer handles the event).
+    """
+
+    __slots__ = ("_device",)
+
+    def __init__(self, device: "GPUDevice", iterable=()) -> None:
+        super().__init__(iterable)
+        self._device = device
+
+    def _changed(self) -> None:
+        self._device._rebuild_dispatch()
+
+    def append(self, item) -> None:
+        super().append(item)
+        self._changed()
+
+    def extend(self, items) -> None:
+        super().extend(items)
+        self._changed()
+
+    def insert(self, index, item) -> None:
+        super().insert(index, item)
+        self._changed()
+
+    def remove(self, item) -> None:
+        super().remove(item)
+        self._changed()
+
+    def pop(self, index=-1):
+        out = super().pop(index)
+        self._changed()
+        return out
+
+    def clear(self) -> None:
+        super().clear()
+        self._changed()
+
+    def __setitem__(self, index, value) -> None:
+        super().__setitem__(index, value)
+        self._changed()
+
+    def __delitem__(self, index) -> None:
+        super().__delitem__(index)
+        self._changed()
+
+    def __iadd__(self, items):
+        super().extend(items)
+        self._changed()
+        return self
 
 #: observers automatically attached to every :class:`GPUDevice` created
 #: after registration — how analysis tools (repro.analysis.Sanitizer)
@@ -85,7 +169,7 @@ def subset_assignment(assignment: WorkAssignment, mask: np.ndarray) -> WorkAssig
     return _dc_replace(
         assignment,
         slots=slots,
-        num_slots=int(np.unique(slots).size),
+        num_slots=distinct_count(slots),
         max_steps=max_step,
         num_items=int(slots.size),
     )
@@ -117,6 +201,46 @@ class KernelContext:
     # ------------------------------------------------------------------
     # memory operations
     # ------------------------------------------------------------------
+    def _coalesced(
+        self, arr: DeviceArray, idx: np.ndarray, a: WorkAssignment
+    ) -> tuple[int, int, np.ndarray]:
+        """:func:`coalesce` with a device-side memo for prefix scans.
+
+        The dominant gather of the bucket engines is the per-iteration
+        full scan ``gather(dist, arange(n), a)`` — its coalesce triple is a
+        pure function of the array's placement, the scan length and the
+        assignment's slot array, yet a naive call re-sorts the same 16k keys
+        every iteration.  When ``idx`` is exactly ``arange(n)`` (two scalar
+        probes, then one comparison pass) the triple is cached per
+        ``(base_address, n)``.  The cached slot array is compared by
+        identity: assignment factories are memoized and the memo entry
+        keeps the array alive, so ``is`` cannot alias a recycled id.  The
+        returned ``sector_ids`` are never mutated downstream (the cache
+        stream only reads them), so sharing one array is safe.
+        """
+        spec = self.device.spec
+        n = idx.size
+        if (
+            n > 1
+            and idx[0] == 0
+            and idx[n - 1] == n - 1
+            and bool((idx[1:] > idx[:-1]).all())
+        ):
+            memo = self.device._scan_coalesce
+            key = (arr.base_address, n)
+            entry = memo.get(key)
+            if entry is not None and entry[0] is a.slots:
+                return entry[1], entry[2], entry[3]
+            out = coalesce(
+                arr.addresses(idx), a.slots, spec.sector_bytes,
+                spec.cache_line_bytes,
+            )
+            memo[key] = (a.slots, *out)
+            return out
+        return coalesce(
+            arr.addresses(idx), a.slots, spec.sector_bytes, spec.cache_line_bytes
+        )
+
     def gather(
         self, arr: DeviceArray, idx: np.ndarray, a: WorkAssignment
     ) -> np.ndarray:
@@ -124,10 +248,7 @@ class KernelContext:
         idx = np.asarray(idx, dtype=np.int64)
         if idx.size != a.num_items:
             raise ValueError("index array must match the assignment's items")
-        spec = self.device.spec
-        instructions, transactions, lines = coalesce(
-            arr.addresses(idx), a.slots, spec.sector_bytes, spec.cache_line_bytes
-        )
+        instructions, transactions, lines = self._coalesced(arr, idx, a)
         c = self.counters
         c.inst_executed_global_loads += instructions
         c.global_load_transactions += transactions
@@ -139,10 +260,8 @@ class KernelContext:
         values = arr.data[idx]
         # value-transform hook (fault injection): runs after all accounting
         # so the counted work is identical with or without observers
-        for obs in self.device.observers:
-            fn = getattr(obs, "transform_read", None)
-            if fn is not None:
-                values = fn(self, arr, idx, values)
+        for fn in self.device._transform_read:
+            values = fn(self, arr, idx, values)
         return values
 
     def scatter(
@@ -156,10 +275,7 @@ class KernelContext:
         idx = np.asarray(idx, dtype=np.int64)
         if idx.size != a.num_items:
             raise ValueError("index array must match the assignment's items")
-        spec = self.device.spec
-        instructions, transactions, _lines = coalesce(
-            arr.addresses(idx), a.slots, spec.sector_bytes, spec.cache_line_bytes
-        )
+        instructions, transactions, _lines = self._coalesced(arr, idx, a)
         c = self.counters
         c.inst_executed_global_stores += instructions
         c.global_store_transactions += transactions
@@ -202,18 +318,19 @@ class KernelContext:
 
         # same-address atomics retire one at a time: everything beyond the
         # first op per address in this batch is a serialized conflict
-        unique_addresses = int(np.unique(idx).size)
+        unique_addresses = distinct_count(idx)
         c.atomic_conflicts += n - unique_addresses
 
         self.device._notify("on_access", self, "atomic_min", arr, idx, values, a)
         # value-transform hook (fault injection): after accounting, before
         # the semantic effect — a transformed value changes state, never cost
-        for obs in self.device.observers:
-            fn = getattr(obs, "transform_atomic", None)
-            if fn is not None:
-                values = fn(self, "atomic_min", arr, idx, values)
-        # serialize per address in program order (see util.scan)
-        return serialized_min_outcome(arr.data, idx, values)
+        for fn in self.device._transform_atomic:
+            values = fn(self, "atomic_min", arr, idx, values)
+        # serialize per address in program order (see util.scan); the
+        # distinct-address count doubles as its conflict-free fast path
+        return serialized_min_outcome(
+            arr.data, idx, values, distinct=unique_addresses
+        )
 
     def atomic_add(
         self,
@@ -243,12 +360,10 @@ class KernelContext:
         self.critical_instructions += a.max_steps
         self._note_assignment(a, instructions)
         if n:
-            c.atomic_conflicts += n - int(np.unique(idx).size)
+            c.atomic_conflicts += n - distinct_count(idx)
             self.device._notify("on_access", self, "atomic_add", arr, idx, values, a)
-            for obs in self.device.observers:
-                fn = getattr(obs, "transform_atomic", None)
-                if fn is not None:
-                    values = fn(self, "atomic_add", arr, idx, values)
+            for fn in self.device._transform_atomic:
+                values = fn(self, "atomic_add", arr, idx, values)
             np.add.at(arr.data, idx, values)
 
     # ------------------------------------------------------------------
@@ -277,8 +392,7 @@ class KernelContext:
         c = self.counters
         if a.num_items == 0:
             return
-        order = np.argsort(a.slots, kind="stable")
-        sslots = a.slots[order]
+        sslots, order = stable_sort_with_order(a.slots)
         staken = taken[order]
         starts = np.ones(sslots.size, dtype=bool)
         starts[1:] = sslots[1:] != sslots[:-1]
@@ -328,15 +442,24 @@ class GPUDevice:
         self.counters = DeviceCounters()
         self.time_s = 0.0
         #: attached analysis observers (see repro.analysis); duck-typed —
-        #: each event calls the observer method of the same name if present
-        self.observers: list = list(_GLOBAL_OBSERVERS)
+        #: each event calls the observer method of the same name if present.
+        #: Handler methods are bound when the list changes (attach time),
+        #: so add/remove observers via this list, not by monkey-patching
+        #: methods onto an already-attached observer.
+        self.observers: ObserverList = ObserverList(self, _GLOBAL_OBSERVERS)
+        self._rebuild_dispatch()
         # carry-over window: the tail of the previous launches' transaction
         # stream.  Physically this is the persistence of the cache hierarchy
         # across back-to-back kernel launches (L1 is flushed but L2 is not):
         # a small kernel re-touching lines the previous kernel brought in
         # still hits, which matters for bucket-at-a-time algorithms that
-        # launch many short kernels over the same hot arrays.
-        self._cache_tail: np.ndarray | None = None
+        # launch many short kernels over the same hot arrays.  Resolved
+        # incrementally (see CacheStream) so short kernels don't pay
+        # O(capacity) host time per launch.
+        self._cache_stream = CacheStream(self.cache)
+        #: memoized coalesce triples for prefix-scan accesses
+        #: (see KernelContext._coalesced)
+        self._scan_coalesce: dict = {}
         from .timeline import Timeline
 
         #: per-launch profile (nvprof --print-gpu-trace analogue)
@@ -345,14 +468,33 @@ class GPUDevice:
     # ------------------------------------------------------------------
     # observation
     # ------------------------------------------------------------------
+    def _rebuild_dispatch(self) -> None:
+        """Re-bind the per-event handler tuples from the observer list.
+
+        Called whenever ``self.observers`` changes; ``_notify`` and the
+        transform hooks then dispatch over pre-bound methods instead of
+        probing every observer with ``getattr`` per event.
+        """
+        table: dict[str, tuple] = {}
+        for event in OBSERVER_EVENTS:
+            handlers = tuple(
+                fn for obs in self.observers
+                if (fn := getattr(obs, event, None)) is not None
+            )
+            if handlers:
+                table[event] = handlers
+        self._dispatch = table
+        self._transform_read = table.get("transform_read", _NO_HANDLERS)
+        self._transform_atomic = table.get("transform_atomic", _NO_HANDLERS)
+
+    def handlers(self, event: str) -> tuple:
+        """Pre-bound handler methods of every observer handling ``event``."""
+        return self._dispatch.get(event, _NO_HANDLERS)
+
     def _notify(self, event: str, *args) -> None:
         """Dispatch ``event`` to every attached observer that handles it."""
-        if not self.observers:
-            return
-        for obs in self.observers:
-            fn = getattr(obs, event, None)
-            if fn is not None:
-                fn(*args)
+        for fn in self._dispatch.get(event, _NO_HANDLERS):
+            fn(*args)
 
     def annotate(self, tag: str, **payload) -> None:
         """Publish an algorithm-level fact (bucket boundaries, settled sets,
@@ -416,11 +558,17 @@ class GPUDevice:
         arr.data[idx] = values
 
     def host_copy(self, arr: DeviceArray, values: np.ndarray) -> None:
-        """Host-driven overwrite of a whole device array (uncounted)."""
-        self._notify(
-            "on_host_write", self, arr,
-            np.arange(arr.size, dtype=np.int64), values,
-        )
+        """Host-driven overwrite of a whole device array (uncounted).
+
+        The full index array observers expect is only materialized when
+        someone actually subscribes to ``on_host_write`` — the unobserved
+        path is a plain array copy.
+        """
+        handlers = self._dispatch.get("on_host_write")
+        if handlers:
+            idx = np.arange(arr.size, dtype=np.int64)
+            for fn in handlers:
+                fn(self, arr, idx, values)
         arr.data[...] = values
 
     # ------------------------------------------------------------------
@@ -429,24 +577,24 @@ class GPUDevice:
     @contextmanager
     def launch(self, name: str, *, host_launch: bool = True) -> Iterator[KernelContext]:
         """Run one kernel; accounting closes when the context exits."""
+        prof = active_profiler()
+        t_host = time.perf_counter() if prof is not None else 0.0
         ctx = KernelContext(self, name)
         if host_launch:
             ctx.counters.kernel_launches += 1
         self._notify("on_kernel_begin", self, ctx)
         yield ctx
         self._notify("on_kernel_end", self, ctx)
-        # resolve cache behaviour for the whole launch's load stream,
-        # warmed by the tail of the preceding launches (L2 persistence)
+        # resolve cache behaviour for the launch's load stream, warmed by
+        # the tail of the preceding launches (L2 persistence).  CacheStream
+        # evaluates this incrementally — identical counts to concatenating
+        # the tail, without the per-launch O(capacity) sort
         if ctx._load_lines:
-            lines = np.concatenate(ctx._load_lines)
-            if self._cache_tail is not None and self._cache_tail.size:
-                stream = np.concatenate([self._cache_tail, lines])
-                hits = self.cache.hits(stream)[self._cache_tail.size :]
-            else:
-                stream = lines
-                hits = self.cache.hits(lines)
-            ctx.counters.l1_hits += int(hits.sum())
-            self._cache_tail = stream[-self.cache.capacity_sectors :]
+            lines = (
+                ctx._load_lines[0] if len(ctx._load_lines) == 1
+                else np.concatenate(ctx._load_lines)
+            )
+            ctx.counters.l1_hits += self._cache_stream.hit_count(lines)
         body = kernel_time(self.spec, ctx.counters, ctx.critical_instructions)
         launch_cost = self.spec.kernel_launch_s if host_launch else 0.0
         ctx.time_s = body + ctx._extra_time + launch_cost
@@ -455,6 +603,8 @@ class GPUDevice:
         )
         self.time_s += ctx.time_s
         self.counters.record(name, ctx.counters)
+        if prof is not None:
+            prof.add("kernel_host", time.perf_counter() - t_host)
 
     def barrier(self) -> None:
         """Host-visible device synchronization between kernels."""

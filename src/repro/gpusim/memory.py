@@ -111,8 +111,14 @@ def coalesce(
     # A plain sort beats np.unique's hash path on these sizes and gives us
     # the slot-major transaction order the cache model needs anyway.
     key = slots.astype(np.int64) * (1 << 40) + sectors
-    key.sort(kind="stable")
-    first = np.ones(key.size, dtype=bool)
+    # contiguous scans arrive slot-major already; one comparison pass is
+    # cheaper than re-sorting the (dominant) sorted streams.  Stability is
+    # irrelevant — equal keys are collapsed to uniques below — so the
+    # default introsort applies (timsort is far slower on random int64).
+    if key.size > 1 and not bool((key[1:] >= key[:-1]).all()):
+        key.sort()
+    first = np.empty(key.size, dtype=bool)
+    first[0] = True
     first[1:] = key[1:] != key[:-1]
     uniq = key[first]
     transactions = uniq.size

@@ -181,10 +181,8 @@ def multi_gpu_sssp(
             # fault-injection hook: observers may drop or duplicate
             # exchange messages in flight (runs after all kernel
             # accounting, so injection-off is byte-identical)
-            for obs in devices[0].observers:
-                fn = getattr(obs, "transform_exchange", None)
-                if fn is not None:
-                    vs, nds = fn(devices[0], supersteps, vs, nds)
+            for fn in devices[0].handlers("transform_exchange"):
+                vs, nds = fn(devices[0], supersteps, vs, nds)
         else:
             vs = np.zeros(0, dtype=np.int64)
             nds = np.zeros(0)

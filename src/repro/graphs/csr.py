@@ -144,6 +144,28 @@ class CSRGraph:
                 )
 
     # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+    def content_digest(self) -> str:
+        """Stable hash of the graph's topology and weights.
+
+        The digest covers ``row``/``adj``/``weights`` (names, dtypes,
+        shapes, bytes) and is the cache key the artifact store uses for
+        derived products (PRO reorderings, oracle distances).  Computed
+        lazily and memoized on the instance — the arrays are frozen at
+        construction, so one pass is enough.
+        """
+        cached = self.__dict__.get("_content_digest")
+        if cached is None:
+            from ..perf.artifacts import digest_arrays
+
+            cached = digest_arrays(
+                {"row": self.row, "adj": self.adj, "weights": self.weights}
+            )
+            object.__setattr__(self, "_content_digest", cached)
+        return cached
+
+    # ------------------------------------------------------------------
     # basic properties
     # ------------------------------------------------------------------
     @property

@@ -38,6 +38,11 @@ __all__ = [
 #: Graph500 initiator probabilities (paper §5.1.2).
 GRAPH500_INITIATOR = (0.57, 0.19, 0.19, 0.05)
 
+#: bump whenever any generator's output stream changes for the same
+#: (name, seed) inputs — it keys the persistent surrogate artifact cache
+#: (repro.perf.artifacts), so stale cached graphs miss instead of loading
+GENERATOR_VERSION = 1
+
 
 def rmat_edges(
     scale: int,

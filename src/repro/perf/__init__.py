@@ -1,0 +1,35 @@
+"""Host-performance layer: artifact caching, parallel running, profiling.
+
+The simulator's *device* behaviour is deterministic and gated bit-for-bit
+by the perf-trajectory baseline (:mod:`repro.bench.trajectory`); this
+package makes the *host* side fast without touching that contract:
+
+* :mod:`repro.perf.artifacts` — persistent, hash-verified ``.npz`` cache
+  for expensive pure build products (generated graphs, PRO reorderings,
+  component decompositions), keyed by content + generator version;
+* :mod:`repro.perf.parallel` — process-parallel execution of independent
+  benchmark cells with deterministic result ordering;
+* :mod:`repro.perf.profile` — named-region host wall-time profiling
+  (generate / preprocess / solve / per-kernel host overhead / suite cells)
+  behind a zero-cost-when-inactive switch.
+
+The invariant every consumer relies on: with or without this layer, the
+simulated device executes the identical event stream — ``bench check``
+against an unchanged baseline stays green.  See ``docs/performance.md``.
+"""
+
+from .artifacts import ArtifactCache, cache_stats, clear_cache, configure_cache, fetch, get_cache
+from .profile import HostProfiler, active_profiler, profiling, region
+
+__all__ = [
+    "ArtifactCache",
+    "HostProfiler",
+    "active_profiler",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
+    "fetch",
+    "get_cache",
+    "profiling",
+    "region",
+]

@@ -1,0 +1,302 @@
+"""Persistent, hash-verified artifact cache for pure build products.
+
+Generating a synthetic graph, running the PRO reordering pipeline, or
+decomposing a graph into components is *pure*: the result is a function of
+(content, algorithm version, numpy version).  This module memoizes those
+array bundles to ``.npz`` files under a cache directory so repeat benchmark
+runs skip the rebuild entirely.
+
+Safety properties:
+
+* **keyed by content** — the file name is a blake2b digest over the key
+  parts (which include a generator/algorithm version and the numpy
+  version), so any input or code-version change misses cleanly;
+* **verified on load** — every entry stores a digest of its own payload
+  arrays; a corrupted or truncated entry fails verification, is deleted,
+  and the artifact is rebuilt from scratch;
+* **atomic writes** — entries are written to a temp file and
+  ``os.replace``d into place, so concurrent workers never observe a
+  partial entry;
+* **bounded** — after each store the cache is evicted oldest-first
+  (mtime) down to a byte cap.
+
+Environment knobs:
+
+* ``REPRO_CACHE_DIR`` — cache root (default ``~/.cache/repro-sssp``);
+* ``REPRO_NO_CACHE=1`` — disable entirely (every fetch rebuilds);
+* ``REPRO_CACHE_BYTES`` — eviction cap in bytes (default 512 MiB).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zipfile
+from collections.abc import Callable
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "ArtifactCache",
+    "CACHE_SCHEMA_VERSION",
+    "cache_stats",
+    "clear_cache",
+    "configure_cache",
+    "digest_arrays",
+    "fetch",
+    "get_cache",
+]
+
+#: bump to invalidate every existing entry (on-disk layout change)
+CACHE_SCHEMA_VERSION = 1
+DEFAULT_CACHE_BYTES = 512 * 1024 * 1024
+_DIGEST_KEY = "__digest__"
+
+_ENV_DIR = "REPRO_CACHE_DIR"
+_ENV_OFF = "REPRO_NO_CACHE"
+_ENV_BYTES = "REPRO_CACHE_BYTES"
+
+
+def _default_root() -> Path:
+    env = os.environ.get(_ENV_DIR)
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-sssp"
+
+
+def _env_enabled() -> bool:
+    return os.environ.get(_ENV_OFF, "").strip() not in ("1", "true", "yes")
+
+
+def _env_max_bytes() -> int:
+    raw = os.environ.get(_ENV_BYTES, "").strip()
+    if raw:
+        try:
+            return max(0, int(raw))
+        except ValueError:
+            pass
+    return DEFAULT_CACHE_BYTES
+
+
+def digest_arrays(arrays: dict[str, np.ndarray]) -> str:
+    """Content digest of a named array bundle (order-independent)."""
+    h = hashlib.blake2b(digest_size=20)
+    for name in sorted(arrays):
+        arr = np.ascontiguousarray(arrays[name])
+        h.update(name.encode())
+        h.update(arr.dtype.str.encode())
+        h.update(repr(arr.shape).encode())
+        h.update(arr.tobytes())
+    return h.hexdigest()
+
+
+class ArtifactCache:
+    """One cache directory of hash-keyed, self-verifying ``.npz`` entries."""
+
+    def __init__(
+        self,
+        root: Path | str | None = None,
+        *,
+        max_bytes: int | None = None,
+        enabled: bool | None = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else _default_root()
+        self.max_bytes = _env_max_bytes() if max_bytes is None else max_bytes
+        self.enabled = _env_enabled() if enabled is None else enabled
+        # session counters (per-process; workers report their own)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejected = 0  # failed digest verification -> rebuilt
+
+    # -- keying ---------------------------------------------------------
+
+    def key(self, category: str, parts: tuple) -> str:
+        payload = json.dumps(
+            [CACHE_SCHEMA_VERSION, np.__version__, category, [str(p) for p in parts]],
+            separators=(",", ":"),
+        )
+        return hashlib.blake2b(payload.encode(), digest_size=20).hexdigest()
+
+    def entry_path(self, category: str, parts: tuple) -> Path:
+        return self.root / f"{category}-{self.key(category, parts)}.npz"
+
+    # -- load / store ---------------------------------------------------
+
+    def load(self, category: str, parts: tuple) -> dict[str, np.ndarray] | None:
+        """Return the cached bundle, or None on miss / failed verification."""
+        if not self.enabled:
+            return None
+        path = self.entry_path(category, parts)
+        try:
+            with np.load(path) as data:
+                arrays = {k: data[k] for k in data.files if k != _DIGEST_KEY}
+                stored = str(data[_DIGEST_KEY]) if _DIGEST_KEY in data.files else ""
+        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+            # BadZipFile subclasses Exception directly, so a truncated or
+            # bit-flipped entry needs its own clause to count as a miss
+            return None
+        if stored != digest_arrays(arrays):
+            # corrupted or hand-edited entry: drop it and rebuild
+            self.rejected += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            os.utime(path)  # refresh mtime for LRU eviction
+        except OSError:
+            pass
+        return arrays
+
+    def store(self, category: str, parts: tuple, arrays: dict[str, np.ndarray]) -> None:
+        if not self.enabled:
+            return
+        path = self.entry_path(category, parts)
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(suffix=".npz.tmp", dir=self.root)
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    np.savez(
+                        fh,
+                        **arrays,
+                        **{_DIGEST_KEY: np.asarray(digest_arrays(arrays))},
+                    )
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return  # cache is best-effort; never fail the caller
+        self.stores += 1
+        self._evict()
+
+    def fetch(
+        self,
+        category: str,
+        parts: tuple,
+        builder: Callable[[], dict[str, np.ndarray]],
+    ) -> tuple[dict[str, np.ndarray], bool]:
+        """Return ``(arrays, was_hit)``; builds and stores on miss."""
+        cached = self.load(category, parts)
+        if cached is not None:
+            self.hits += 1
+            return cached, True
+        self.misses += 1
+        arrays = builder()
+        self.store(category, parts, arrays)
+        return arrays, False
+
+    # -- maintenance ----------------------------------------------------
+
+    def _entries(self) -> list[Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("*.npz"))
+
+    def _evict(self) -> None:
+        entries = []
+        total = 0
+        for path in self._entries():
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            entries.append((st.st_mtime, st.st_size, path))
+            total += st.st_size
+        entries.sort()  # oldest first
+        for _mtime, size, path in entries:
+            if total <= self.max_bytes:
+                break
+            try:
+                path.unlink()
+                total -= size
+            except OSError:
+                pass
+
+    def status(self) -> dict:
+        """Summary for ``cli cache status`` and profiling reports."""
+        per_category: dict[str, int] = {}
+        total = 0
+        count = 0
+        for path in self._entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            count += 1
+            cat = path.name.rsplit("-", 1)[0]
+            per_category[cat] = per_category.get(cat, 0) + 1
+        return {
+            "root": str(self.root),
+            "enabled": self.enabled,
+            "entries": count,
+            "bytes": total,
+            "max_bytes": self.max_bytes,
+            "categories": dict(sorted(per_category.items())),
+            "session": {
+                "hits": self.hits,
+                "misses": self.misses,
+                "stores": self.stores,
+                "rejected": self.rejected,
+            },
+        }
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self._entries():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+
+# -- module-level default instance -------------------------------------
+
+_cache: ArtifactCache | None = None
+
+
+def get_cache() -> ArtifactCache:
+    global _cache
+    if _cache is None:
+        _cache = ArtifactCache()
+    return _cache
+
+
+def configure_cache(
+    root: Path | str | None = None,
+    *,
+    max_bytes: int | None = None,
+    enabled: bool | None = None,
+) -> ArtifactCache:
+    """Replace the default cache (tests point it at a tmp dir)."""
+    global _cache
+    _cache = ArtifactCache(root, max_bytes=max_bytes, enabled=enabled)
+    return _cache
+
+
+def fetch(
+    category: str,
+    parts: tuple,
+    builder: Callable[[], dict[str, np.ndarray]],
+) -> tuple[dict[str, np.ndarray], bool]:
+    return get_cache().fetch(category, parts, builder)
+
+
+def cache_stats() -> dict:
+    return get_cache().status()
+
+
+def clear_cache() -> int:
+    return get_cache().clear()

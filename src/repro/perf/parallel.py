@@ -1,0 +1,71 @@
+"""Process-parallel execution of independent work cells.
+
+Benchmark cells — one ``(dataset, method)`` pair each — share nothing but
+read-only inputs, so they parallelize perfectly across processes.  The
+contract :func:`run_tasks` provides:
+
+* **deterministic order** — results come back in submission order
+  regardless of which worker finished first, so a parallel suite merges
+  into the exact record sequence a serial run produces;
+* **observer inheritance** — the ``fork`` start method is preferred
+  (available on Linux), so globally-registered device observers
+  (:func:`repro.gpusim.device.register_global_observer` users such as the
+  sanitizer or fault injector) are active inside workers exactly as in
+  the parent; on platforms without ``fork`` the default start method is
+  used and workers rebuild state from module imports;
+* **fail loud** — a worker exception propagates to the caller
+  (re-raised from ``Future.result``), never silently dropping a cell.
+
+Device determinism is untouched: each worker runs the identical
+simulation it would have run serially, in its own process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["default_jobs", "resolve_jobs", "run_tasks"]
+
+
+def default_jobs() -> int:
+    """Worker count for ``--jobs 0`` (all cores, capped sanely)."""
+    return max(1, min(os.cpu_count() or 1, 16))
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a CLI ``--jobs`` value: None/1 serial, 0 = all cores."""
+    if jobs is None:
+        return 1
+    if jobs == 0:
+        return default_jobs()
+    if jobs < 0:
+        raise ValueError("jobs must be >= 0")
+    return jobs
+
+
+def _mp_context():
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
+def run_tasks(
+    fn: Callable,
+    tasks: Sequence[tuple],
+    jobs: int,
+) -> list:
+    """Run ``fn(*task)`` for every task; results in task order.
+
+    ``jobs <= 1`` (or a single task) degrades to a plain serial loop with
+    no process machinery at all.
+    """
+    if jobs <= 1 or len(tasks) <= 1:
+        return [fn(*t) for t in tasks]
+    workers = min(jobs, len(tasks))
+    with ProcessPoolExecutor(max_workers=workers, mp_context=_mp_context()) as ex:
+        futures = [ex.submit(fn, *t) for t in tasks]
+        return [f.result() for f in futures]

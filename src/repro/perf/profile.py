@@ -1,0 +1,118 @@
+"""Named-region host wall-time profiling.
+
+The simulator reports *simulated* device time; this module measures the
+*host* time the harness itself burns — graph generation, PRO
+preprocessing, per-kernel accounting overhead, whole suite cells — so the
+host-optimization work in :mod:`repro.perf` can be demonstrated with
+numbers rather than vibes.
+
+Design constraints:
+
+* **zero cost when inactive**: instrumented code calls
+  :func:`active_profiler` (a module-global read) or enters the
+  :func:`region` context manager, both of which are no-ops unless a
+  profiler was activated with :func:`profiling`;
+* **stdlib only**: importable from the lowest simulator layers without
+  creating dependency cycles;
+* **additive regions**: a region entered N times accumulates total
+  seconds and a call count, so per-kernel overhead aggregates naturally.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+__all__ = [
+    "HostProfiler",
+    "active_profiler",
+    "profiling",
+    "region",
+]
+
+
+class HostProfiler:
+    """Accumulates wall-time by region name."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self._start = time.perf_counter()
+
+    def add(self, name: str, dt: float, count: int = 1) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + dt
+        self.calls[name] = self.calls.get(name, 0) + count
+
+    @contextmanager
+    def region(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def total_seconds(self) -> float:
+        return time.perf_counter() - self._start
+
+    def report(self, extra: dict | None = None) -> dict:
+        doc = {
+            "total_seconds": self.total_seconds(),
+            "regions": {
+                name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+                for name in sorted(
+                    self.seconds, key=lambda k: self.seconds[k], reverse=True
+                )
+            },
+        }
+        if extra:
+            doc.update(extra)
+        return doc
+
+    def format_table(self) -> str:
+        lines = [f"{'region':<34s} {'seconds':>9s} {'calls':>8s}"]
+        for name in sorted(self.seconds, key=lambda k: self.seconds[k], reverse=True):
+            lines.append(
+                f"{name:<34s} {self.seconds[name]:9.3f} {self.calls[name]:8d}"
+            )
+        lines.append(f"{'(wall since start)':<34s} {self.total_seconds():9.3f}")
+        return "\n".join(lines)
+
+    def write_json(self, path: str | Path, extra: dict | None = None) -> None:
+        Path(path).write_text(json.dumps(self.report(extra), indent=2) + "\n")
+
+
+_active: HostProfiler | None = None
+
+
+def active_profiler() -> HostProfiler | None:
+    """The currently-activated profiler, or None (the common, free case)."""
+    return _active
+
+
+@contextmanager
+def profiling():
+    """Activate a fresh profiler for the duration of the block."""
+    global _active
+    prev = _active
+    prof = HostProfiler()
+    _active = prof
+    try:
+        yield prof
+    finally:
+        _active = prev
+
+
+@contextmanager
+def region(name: str):
+    """Time a named region iff a profiler is active; free otherwise."""
+    prof = _active
+    if prof is None:
+        yield
+        return
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        prof.add(name, time.perf_counter() - t0)

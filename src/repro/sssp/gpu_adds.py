@@ -27,6 +27,7 @@ from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import grid_stride, thread_per_item, thread_per_vertex_edges
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
+from ..util.scan import sorted_unique_ints
 from .errors import ConvergenceError
 from .gpu_rdbs import default_delta
 from .relax import DeviceGraph, relax_batch
@@ -189,7 +190,7 @@ def _adds_async(
         sub = subset_assignment(a, out.updated)
         k.branch(sub, is_near)
 
-        fresh = np.unique(upd[is_near])
+        fresh = sorted_unique_ints(upd[is_near])
         fresh = fresh[~in_near[fresh]]
         if fresh.size:
             in_near[fresh] = True
@@ -197,7 +198,7 @@ def _adds_async(
             near.append(fresh)
             a_push = thread_per_item(fresh.size)
             k.scatter(worklist_buf, fresh, fresh, a_push)
-        far_new = np.unique(upd[~is_near])
+        far_new = sorted_unique_ints(upd[~is_near])
         far_new = far_new[~in_near[far_new]]
         if far_new.size:
             far_mask[far_new] = True

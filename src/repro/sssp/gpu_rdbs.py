@@ -40,6 +40,7 @@ from ..gpusim.kernels import (
 )
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.recorder import TraceRecorder
+from ..util.scan import sorted_unique_ints
 from ..metrics.workstats import WorkStats
 from ..reorder.pipeline import apply_pro
 from .buckets import DeltaController
@@ -399,9 +400,11 @@ def _relax_light(
     else:
         groups = [(np.arange(vertices.size), thread_per_vertex_edges(counts))]
 
-    for positions, assignment in groups:
+    # child-kernel edge batches are sliced out of one vectorized index
+    # construction instead of re-deriving indices per workload class
+    batches = dgraph.batch_groups(vertices, kind, groups)
+    for (positions, assignment), batch in zip(groups, batches):
         vs = vertices[positions]
-        batch = dgraph.batch(vs, kind)
         targets, updated = relax_batch(
             ctx, dgraph, dist, vs, batch, assignment, (stats, p1_stats),
             weight_filter=weight_filter,
@@ -481,7 +484,7 @@ def _phase1_async(
             k.async_round()
 
             if targets.size:
-                cand = np.unique(targets)
+                cand = sorted_unique_ints(targets)
                 # manager threads re-read the *fresh* distances (BASYN's
                 # immediate visibility) as a counted gather
                 dv = k.gather(dist, cand, thread_per_item(cand.size))
@@ -535,7 +538,7 @@ def _phase1_sync(
         device.barrier()
         threads_used += threads
         if targets.size:
-            cand = np.unique(targets)
+            cand = sorted_unique_ints(targets)
             frontier = cand[(dist.data[cand] >= b_lo) & (dist.data[cand] < b_hi)]
         else:
             frontier = np.zeros(0, dtype=np.int64)

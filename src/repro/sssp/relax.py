@@ -32,7 +32,7 @@ from ..gpusim.kernels import (
 )
 from ..gpusim.memory import DeviceArray
 from ..metrics.workstats import WorkStats
-from ..util.scan import segmented_arange
+from ..util.scan import segmented_arange, sorted_unique_ints
 
 __all__ = [
     "DeviceGraph",
@@ -82,6 +82,11 @@ class DeviceGraph:
         else:
             self.heavy = None
             self.split_delta = None
+        #: host-side memo of re-split offset arrays per Δ — the bucket-aware
+        #: engine revisits the same widened Δ values across buckets/sources,
+        #: and the offsets are a pure function of (graph, Δ).  The device
+        #: kernel accounting of resplit() is unchanged by a memo hit.
+        self._offset_memo: dict[float, np.ndarray] = {}
 
     def resplit(self, new_delta: float) -> None:
         """Recompute heavy offsets for ``new_delta`` (one device pass).
@@ -96,7 +101,10 @@ class DeviceGraph:
         from ..gpusim.kernels import grid_stride
 
         n = self.graph.num_vertices
-        offsets = compute_heavy_offsets(self.graph, new_delta)
+        offsets = self._offset_memo.get(float(new_delta))
+        if offsets is None:
+            offsets = compute_heavy_offsets(self.graph, new_delta)
+            self._offset_memo[float(new_delta)] = offsets
         with self.device.launch("resplit_offsets") as k:
             a = grid_stride(n, 32 * 256)
             k.gather(self.row, np.arange(n, dtype=np.int64), a)
@@ -135,6 +143,42 @@ class DeviceGraph:
         edge_idx = np.repeat(start, counts) + segmented_arange(counts)
         src_pos = np.repeat(np.arange(vertices.size, dtype=np.int64), counts)
         return EdgeBatch(edge_idx=edge_idx, src_pos=src_pos, counts=counts)
+
+    def batch_groups(
+        self,
+        vertices: np.ndarray,
+        kind: str,
+        groups: list[tuple[np.ndarray, "WorkAssignment"]],
+    ) -> list[EdgeBatch]:
+        """Per-workload-class edge batches from *one* vectorized pass.
+
+        ``groups`` is the ``(positions, assignment)`` partition produced by
+        ADWL classification (:func:`repro.gpusim.dynamic.launch_adaptive`).
+        Instead of re-running the row-gather / repeat / segmented-arange
+        index construction once per class, the full batch is built once and
+        sliced by class membership — element-for-element identical to
+        calling :meth:`batch` on each class's vertex list.
+        """
+        vertices = np.asarray(vertices, dtype=np.int64)
+        if len(groups) == 1:
+            positions, _ = groups[0]
+            return [self.batch(vertices[positions], kind)]
+        full = self.batch(vertices, kind)
+        group_id = np.empty(vertices.size, dtype=np.int64)
+        rank = np.empty(vertices.size, dtype=np.int64)
+        for gi, (positions, _) in enumerate(groups):
+            group_id[positions] = gi
+            rank[positions] = np.arange(positions.size, dtype=np.int64)
+        edge_gid = group_id[full.src_pos]
+        out: list[EdgeBatch] = []
+        for gi, (positions, _) in enumerate(groups):
+            mask = edge_gid == gi
+            out.append(EdgeBatch(
+                edge_idx=full.edge_idx[mask],
+                src_pos=rank[full.src_pos[mask]],
+                counts=full.counts[positions],
+            ))
+        return out
 
     def light_counts(self, vertices: np.ndarray) -> np.ndarray:
         """Light-edge count per vertex (requires PRO heavy offsets)."""
@@ -279,7 +323,7 @@ class FrontierFlags:
         current = ctx.gather(self.flags, targets, assignment)
         fresh_mask = current != self._stamp
         ctx.branch(assignment, fresh_mask)
-        fresh = np.unique(targets[fresh_mask])
+        fresh = sorted_unique_ints(targets[fresh_mask])
         if fresh.size:
             sub = subset_assignment(assignment, fresh_mask)
             ctx.scatter(

@@ -19,13 +19,27 @@ class DistanceMismatch(AssertionError):
 
 
 def scipy_distances(graph: CSRGraph, source: int) -> np.ndarray:
-    """Ground-truth distances via ``scipy.sparse.csgraph.dijkstra``."""
-    from scipy.sparse import csr_matrix
-    from scipy.sparse.csgraph import dijkstra as _dijkstra
+    """Ground-truth distances via ``scipy.sparse.csgraph.dijkstra``.
 
-    n = graph.num_vertices
-    mat = csr_matrix((graph.weights, graph.adj, graph.row), shape=(n, n))
-    return _dijkstra(mat, directed=True, indices=source)
+    A pure function of (graph content, source), so the oracle run is
+    memoized in the artifact cache — every benchmark cell validates
+    against the same graphs and sources, and re-running Dijkstra per
+    validation dominates the host time of small cells.
+    """
+    from ..perf import artifacts
+
+    def build() -> dict[str, np.ndarray]:
+        from scipy.sparse import csr_matrix
+        from scipy.sparse.csgraph import dijkstra as _dijkstra
+
+        n = graph.num_vertices
+        mat = csr_matrix((graph.weights, graph.adj, graph.row), shape=(n, n))
+        return {"dist": _dijkstra(mat, directed=True, indices=source)}
+
+    arrays, _hit = artifacts.fetch(
+        "reference", (graph.content_digest(), int(source)), build
+    )
+    return arrays["dist"]
 
 
 def validate_distances(

@@ -12,10 +12,89 @@ from __future__ import annotations
 import numpy as np
 
 __all__ = [
+    "distinct_count",
     "segmented_arange",
     "segmented_exclusive_cummin",
     "serialized_min_outcome",
+    "sorted_unique_ints",
+    "stable_sort_with_order",
 ]
+
+
+def stable_sort_with_order(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """``(sorted_keys, order)`` with a stable order, for non-negative ints.
+
+    Exactly ``(keys[order], order)`` for ``order = argsort(keys,
+    kind='stable')``.  NumPy's stable argsort on int64 is timsort, which is
+    several times slower than its plain sort at the few-thousand-element
+    sizes the simulator hits per launch — so when the keys are small enough
+    to leave room, the element *position* is packed into the low digits of
+    a composite key (``key * n + pos``), sorted in place, and unpacked with
+    one divmod.  Composite keys are distinct, so an unstable sort yields
+    exactly the stable order.  Falls back to ``argsort`` for tiny arrays
+    (where the extra passes cost more than timsort) and for keys too large
+    to pack.
+    """
+    n = keys.size
+    if (
+        n > 512
+        and int(keys.max(initial=0)) < (1 << 62) // n
+        and int(keys.min(initial=0)) >= 0
+    ):
+        packed = keys * np.int64(n) + np.arange(n, dtype=np.int64)
+        packed.sort()
+        sorted_keys, order = np.divmod(packed, np.int64(n))
+        return sorted_keys, order
+    order = np.argsort(keys, kind="stable")
+    return keys[order], order.astype(np.int64, copy=False)
+
+
+def _bincount_range(values: np.ndarray) -> tuple[int, int] | None:
+    """``(lo, hi)`` when a shifted bincount is the cheap way to dedup.
+
+    A counting pass is O(n + range); it beats ``np.unique``'s hash/sort
+    machinery whenever the value range is comparable to the array length,
+    which holds for vertex ids, slot ids and device addresses in the hot
+    simulator paths.  Returns None when the range is too wide.
+    """
+    lo = int(values.min())
+    hi = int(values.max())
+    if hi - lo <= 4 * values.size + 1024:
+        return lo, hi
+    return None
+
+
+def distinct_count(values: np.ndarray) -> int:
+    """Number of distinct values of a non-negative integer array.
+
+    Exactly ``np.unique(values).size``, computed with a counting pass when
+    the value range allows (see :func:`_bincount_range`).
+    """
+    if values.size == 0:
+        return 0
+    rng = _bincount_range(values)
+    if rng is None:
+        return int(np.unique(values).size)
+    lo, hi = rng
+    return int(np.count_nonzero(np.bincount(values - lo, minlength=hi - lo + 1)))
+
+
+def sorted_unique_ints(values: np.ndarray) -> np.ndarray:
+    """Sorted distinct values of a non-negative integer array.
+
+    Element-identical to ``np.unique(values)`` (as int64), computed with a
+    counting pass when the value range allows.
+    """
+    if values.size == 0:
+        return np.zeros(0, dtype=np.int64)
+    rng = _bincount_range(values)
+    if rng is None:
+        return np.unique(values).astype(np.int64, copy=False)
+    lo, hi = rng
+    out = np.flatnonzero(np.bincount(values - lo, minlength=hi - lo + 1))
+    if lo:
+        out += lo
+    return out.astype(np.int64, copy=False)
 
 
 def segmented_arange(counts: np.ndarray) -> np.ndarray:
@@ -59,7 +138,8 @@ def segmented_exclusive_cummin(
 
 
 def serialized_min_outcome(
-    current: np.ndarray, idx: np.ndarray, values: np.ndarray
+    current: np.ndarray, idx: np.ndarray, values: np.ndarray,
+    distinct: int | None = None,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Outcome of atomically min-ing ``values`` into ``current[idx]``.
 
@@ -68,12 +148,23 @@ def serialized_min_outcome(
     cell's initial value and all earlier operations' values to the same
     cell.  Returns ``(old, updated)`` aligned with the inputs, and applies
     the final per-cell minima to ``current`` in place.
+
+    ``distinct`` is an optional caller-supplied count of distinct
+    addresses in ``idx`` (the device already computes it for conflict
+    accounting).  When every address is distinct, serialization order is
+    immaterial — each op observes the cell's initial value — so the sort
+    and segmented scan are skipped entirely.
     """
     n = idx.size
     if n == 0:
         return values.astype(np.float64, copy=True), np.zeros(0, dtype=bool)
-    order = np.argsort(idx, kind="stable")
-    sidx = idx[order]
+    if distinct == n:
+        initial = current[idx]
+        svals = np.asarray(values, dtype=np.float64)
+        updated = svals < initial
+        current[idx] = np.minimum(initial, svals)
+        return initial, updated
+    sidx, order = stable_sort_with_order(idx)
     svals = np.asarray(values, dtype=np.float64)[order]
     start = np.ones(n, dtype=bool)
     start[1:] = sidx[1:] != sidx[:-1]

@@ -18,6 +18,26 @@ from repro.graphs import (
 from repro.graphs.properties import largest_component_vertices
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_artifact_cache(tmp_path_factory):
+    """Point the persistent artifact cache at a session-local tmp dir.
+
+    Keeps the test suite hermetic: no reads from (or writes to) the
+    developer's ``~/.cache/repro-sssp``, while cache *behaviour* —
+    hits across tests in one session — stays observable for the tests
+    that assert on it.
+    """
+    import os
+
+    from repro.perf import artifacts
+
+    root = tmp_path_factory.mktemp("artifact-cache")
+    os.environ["REPRO_CACHE_DIR"] = str(root)
+    artifacts.configure_cache(root)
+    yield
+    artifacts.configure_cache(None)
+
+
 @pytest.fixture
 def fig1_graph():
     """The 8-vertex graph of the paper's Fig. 1."""

@@ -1,0 +1,232 @@
+"""Artifact cache (repro.perf.artifacts): correctness and safety.
+
+The cache is only allowed to make things *faster*, never different: a hit
+must be element-identical to a cold build, a corrupted entry must be
+rejected and rebuilt, and a cached benchmark run must report exactly the
+device counters of an uncached one.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.perf.artifacts import ArtifactCache, digest_arrays
+
+
+def _bundle(seed: int = 0) -> dict[str, np.ndarray]:
+    rng = np.random.default_rng(seed)
+    return {
+        "row": np.arange(11, dtype=np.int64),
+        "vals": rng.random(10),
+    }
+
+
+# ---------------------------------------------------------------------------
+# keying / digests
+# ---------------------------------------------------------------------------
+
+def test_digest_is_order_independent_but_content_sensitive():
+    a = _bundle()
+    assert digest_arrays(a) == digest_arrays(dict(reversed(list(a.items()))))
+    # any change — name, dtype, shape or a single value — moves the digest
+    renamed = {"row2": a["row"], "vals": a["vals"]}
+    assert digest_arrays(renamed) != digest_arrays(a)
+    retyped = {"row": a["row"].astype(np.int32), "vals": a["vals"]}
+    assert digest_arrays(retyped) != digest_arrays(a)
+    reshaped = {"row": a["row"], "vals": a["vals"].reshape(2, 5)}
+    assert digest_arrays(reshaped) != digest_arrays(a)
+    tweaked = {"row": a["row"], "vals": a["vals"].copy()}
+    tweaked["vals"][3] += 1e-9
+    assert digest_arrays(tweaked) != digest_arrays(a)
+
+
+def test_key_depends_on_category_and_parts(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    assert cache.key("pro", (1, "abc")) != cache.key("pro", (2, "abc"))
+    assert cache.key("pro", (1, "abc")) != cache.key("surrogate", (1, "abc"))
+
+
+# ---------------------------------------------------------------------------
+# fetch semantics
+# ---------------------------------------------------------------------------
+
+def test_fetch_hit_is_identical_to_cold_build(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    built = []
+
+    def builder():
+        built.append(1)
+        return _bundle()
+
+    cold, hit0 = cache.fetch("test", ("a",), builder)
+    warm, hit1 = cache.fetch("test", ("a",), builder)
+    assert (hit0, hit1) == (False, True)
+    assert len(built) == 1  # second fetch never called the builder
+    assert set(cold) == set(warm)
+    for name in cold:
+        np.testing.assert_array_equal(cold[name], warm[name])
+        assert cold[name].dtype == warm[name].dtype
+    assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+
+def test_different_parts_do_not_collide(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    a, _ = cache.fetch("test", ("a",), lambda: {"x": np.arange(3)})
+    b, _ = cache.fetch("test", ("b",), lambda: {"x": np.arange(5)})
+    assert a["x"].size == 3 and b["x"].size == 5
+
+
+def test_corrupted_entry_is_rejected_and_rebuilt(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.fetch("test", ("a",), _bundle)
+    path = cache.entry_path("test", ("a",))
+    assert path.exists()
+    # flip payload bytes behind the digest's back
+    raw = bytearray(path.read_bytes())
+    raw[len(raw) // 2] ^= 0xFF
+    path.write_bytes(bytes(raw))
+
+    arrays, was_hit = cache.fetch("test", ("a",), _bundle)
+    assert was_hit is False  # verification failed -> rebuilt
+    assert cache.rejected >= 1 or cache.misses >= 2
+    np.testing.assert_array_equal(arrays["row"], _bundle()["row"])
+    # the rebuilt entry is healthy again
+    _, hit = cache.fetch("test", ("a",), _bundle)
+    assert hit is True
+
+
+def test_truncated_entry_is_a_miss(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.fetch("test", ("a",), _bundle)
+    path = cache.entry_path("test", ("a",))
+    path.write_bytes(path.read_bytes()[:10])
+    _, hit = cache.fetch("test", ("a",), _bundle)
+    assert hit is False
+
+
+def test_disabled_cache_always_rebuilds(tmp_path):
+    cache = ArtifactCache(tmp_path, enabled=False)
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return _bundle()
+
+    cache.fetch("test", ("a",), builder)
+    cache.fetch("test", ("a",), builder)
+    assert len(calls) == 2
+    assert not list(tmp_path.glob("*.npz"))
+
+
+def test_eviction_respects_byte_cap(tmp_path):
+    cache = ArtifactCache(tmp_path, max_bytes=20_000)
+    for i in range(8):
+        cache.fetch(
+            "blob", (i,), lambda: {"x": np.zeros(1000, dtype=np.float64)}
+        )
+    st = cache.status()
+    assert st["bytes"] <= 20_000
+    assert 0 < st["entries"] < 8
+
+
+def test_clear_and_status(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    cache.fetch("test", ("a",), _bundle)
+    cache.fetch("other", ("b",), _bundle)
+    st = cache.status()
+    assert st["entries"] == 2
+    assert st["categories"] == {"other": 1, "test": 1}
+    removed = cache.clear()
+    assert removed == 2
+    assert cache.status()["entries"] == 0
+
+
+# ---------------------------------------------------------------------------
+# cached pipelines are element- and counter-identical
+# ---------------------------------------------------------------------------
+
+def test_surrogate_load_hit_equals_cold_build(tmp_path, monkeypatch):
+    from repro.perf import artifacts
+    from repro.graphs import surrogates
+
+    monkeypatch.setattr(artifacts, "_cache", ArtifactCache(tmp_path))
+    cold = surrogates.load("Amazon")
+    warm = surrogates.load("Amazon")
+    assert artifacts.get_cache().hits >= 1
+    np.testing.assert_array_equal(cold.row, warm.row)
+    np.testing.assert_array_equal(cold.adj, warm.adj)
+    np.testing.assert_array_equal(cold.weights, warm.weights)
+
+
+def test_pro_cache_hit_equals_cold_build(tmp_path, monkeypatch):
+    from repro.perf import artifacts
+    from repro.bench.datasets import get_graph
+    from repro.reorder import apply_pro
+
+    monkeypatch.setattr(artifacts, "_cache", ArtifactCache(tmp_path))
+    g = get_graph("Amazon")
+    assert g.num_edges >= 32_768  # large enough to engage the cache
+    cold = apply_pro(g, 16.0)
+    store = artifacts.get_cache()
+    assert store.misses >= 1
+    warm = apply_pro(g, 16.0)
+    assert store.hits >= 1
+    np.testing.assert_array_equal(cold.row, warm.row)
+    np.testing.assert_array_equal(cold.adj, warm.adj)
+    np.testing.assert_array_equal(cold.weights, warm.weights)
+    np.testing.assert_array_equal(cold.heavy_offsets, warm.heavy_offsets)
+    np.testing.assert_array_equal(cold.new_to_old, warm.new_to_old)
+    assert cold.delta == warm.delta
+
+
+def test_cached_run_counters_match_uncached(tmp_path, monkeypatch):
+    """A warm-cache benchmark cell reports the exact device quantities of a
+    cold one — the cache can only change host time, never results."""
+    from repro.perf import artifacts
+    from repro.bench.suites import _run_cell
+
+    from repro.bench import datasets
+
+    monkeypatch.setattr(artifacts, "_cache", ArtifactCache(tmp_path))
+    # drop the in-process memo so the cold cell genuinely rebuilds and the
+    # warm cell loads from the .npz entries the cold one stored
+    datasets.get_graph.cache_clear()
+    datasets._component_cache.cache_clear()
+    cold = _run_cell("quick", "Amazon", "bl")
+    datasets.get_graph.cache_clear()
+    datasets._component_cache.cache_clear()
+    warm = _run_cell("quick", "Amazon", "bl")
+    assert artifacts.get_cache().hits >= 1
+    assert cold.time_ms == warm.time_ms
+    assert cold.gteps == warm.gteps
+    assert cold.counters == warm.counters
+
+
+def test_oracle_distances_are_cached(tmp_path, monkeypatch):
+    from repro.perf import artifacts
+    from repro.sssp.validate import scipy_distances
+
+    monkeypatch.setattr(artifacts, "_cache", ArtifactCache(tmp_path))
+    from repro.bench.datasets import get_graph
+
+    g = get_graph("Amazon")
+    cold = scipy_distances(g, 0)
+    store = artifacts.get_cache()
+    misses = store.misses
+    warm = scipy_distances(g, 0)
+    assert store.hits >= 1 and store.misses == misses
+    np.testing.assert_array_equal(cold, warm)
+
+
+def test_env_no_cache_disables(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    cache = ArtifactCache(tmp_path)
+    assert cache.enabled is False
+
+
+def test_negative_jobs_rejected():
+    from repro.perf.parallel import resolve_jobs
+
+    with pytest.raises(ValueError):
+        resolve_jobs(-2)

@@ -1,0 +1,138 @@
+"""Process-parallel suite runner: determinism and observer inheritance.
+
+The contract under test: ``run_suite(..., jobs=N)`` returns records that
+are byte-identical to a serial run in everything except host wall-clock
+fields, in the same deterministic order — including when global device
+observers (sanitizer, fault injector) are attached.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench.suites import SUITES, SuiteSpec, run_suite
+from repro.perf.parallel import default_jobs, resolve_jobs, run_tasks
+
+#: a small matrix so the parity tests stay fast
+MINI = SuiteSpec(
+    name="mini", datasets=("Amazon",), methods=("bl", "rdbs"), num_sources=1
+)
+
+
+@pytest.fixture
+def mini_suite(monkeypatch):
+    monkeypatch.setitem(SUITES, "mini", MINI)
+    return "mini"
+
+
+def _strip_wall(rec) -> dict:
+    d = rec.as_dict()
+    d.pop("host_seconds", None)
+    return d
+
+
+# ---------------------------------------------------------------------------
+# job resolution
+# ---------------------------------------------------------------------------
+
+def test_resolve_jobs_semantics():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) == default_jobs()
+    assert default_jobs() >= 1
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+
+
+# ---------------------------------------------------------------------------
+# run_tasks
+# ---------------------------------------------------------------------------
+
+def _echo(i, delay):
+    time.sleep(delay)
+    return i
+
+
+def test_run_tasks_preserves_submission_order():
+    # later tasks finish first; results must still come back in task order
+    tasks = [(0, 0.05), (1, 0.0), (2, 0.02), (3, 0.0)]
+    assert run_tasks(_echo, tasks, jobs=4) == [0, 1, 2, 3]
+
+
+def test_run_tasks_serial_degradation():
+    assert run_tasks(_echo, [(7, 0.0)], jobs=8) == [7]
+    assert run_tasks(_echo, [(1, 0.0), (2, 0.0)], jobs=1) == [1, 2]
+
+
+def _boom(x):
+    raise RuntimeError(f"worker failed on {x}")
+
+
+def test_run_tasks_propagates_worker_exceptions():
+    with pytest.raises(RuntimeError, match="worker failed"):
+        run_tasks(_boom, [(1,), (2,)], jobs=2)
+
+
+# ---------------------------------------------------------------------------
+# suite parity: jobs=N == jobs=1 modulo wall fields
+# ---------------------------------------------------------------------------
+
+def test_parallel_suite_matches_serial(mini_suite):
+    serial = run_suite(mini_suite, jobs=1)
+    parallel = run_suite(mini_suite, jobs=4)
+    assert [_strip_wall(r) for r in parallel] == [
+        _strip_wall(r) for r in serial
+    ]
+    # deterministic suite order: datasets x methods as declared
+    assert [(r.dataset, r.method) for r in parallel] == [
+        ("Amazon", "bl"), ("Amazon", "rdbs")
+    ]
+
+
+def test_parallel_suite_matches_serial_under_sanitizer(mini_suite):
+    """Workers inherit globally-registered observers through fork, and the
+    sanitizer must not perturb any recorded device quantity."""
+    from repro.analysis import attached
+
+    bare = run_suite(mini_suite, jobs=1)
+    with attached():
+        serial = run_suite(mini_suite, jobs=1)
+        parallel = run_suite(mini_suite, jobs=2)
+    want = [_strip_wall(r) for r in bare]
+    assert [_strip_wall(r) for r in serial] == want
+    assert [_strip_wall(r) for r in parallel] == want
+
+
+def test_parallel_suite_matches_serial_under_fault_injector(mini_suite):
+    """An attached (but inert) fault injector exercises the transform-hook
+    dispatch in every worker without perturbing results.  (An *active*
+    plan is stateful across cells by design, so cell-order independence
+    can only be promised for observers that do not mutate state.)"""
+    from repro.faults import FaultInjector
+    from repro.faults.plan import FaultPlan, FaultSpec
+
+    inert = FaultPlan(
+        name="inert", seed=0,
+        specs=(FaultSpec("lost-update", count=0),),
+    )
+    bare = run_suite(mini_suite, jobs=1)
+    with FaultInjector(inert).attached():
+        parallel = run_suite(mini_suite, jobs=2)
+    assert [_strip_wall(r) for r in parallel] == [
+        _strip_wall(r) for r in bare
+    ]
+
+
+def test_jobs_zero_uses_all_cores(mini_suite):
+    records = run_suite(mini_suite, jobs=0)
+    assert [(r.dataset, r.method) for r in records] == [
+        ("Amazon", "bl"), ("Amazon", "rdbs")
+    ]
+
+
+def test_unknown_suite_raises():
+    with pytest.raises(ValueError, match="unknown suite"):
+        run_suite("nope")
