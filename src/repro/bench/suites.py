@@ -107,8 +107,13 @@ def run_suite(name: str, *, progress=None, jobs: int = 1) -> list[BenchRecord]:
             for rec in records:
                 progress(_progress_line(rec))
         return records
+    from ..trace import active_tracer
+
     records: list[BenchRecord] = []
     for suite, dataset, method in cells:
+        tracer = active_tracer()
+        if tracer is not None:
+            tracer.mark("cell", dataset=dataset, method=method)
         with profile.region(f"cell:{dataset}/{method}"):
             rec = _run_cell(suite, dataset, method)
         records.append(rec)

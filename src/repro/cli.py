@@ -13,6 +13,9 @@ Commands
 ``lint``      statically check kernel-authoring rules (repro-lint)
 ``bench``     continuous benchmarking: run suites, gate against baselines,
               diff trajectory files (``bench run | check | diff``)
+``trace``     structured event tracing: record a run's kernel/bucket/ADWL
+              timeline, summarize or convert trace files
+              (``trace run | summary | export``)
 ``cache``     inspect or clear the persistent artifact cache
               (``cache status | clear``)
 
@@ -29,6 +32,7 @@ Graphs are specified with a compact ``kind:args`` syntax::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -281,18 +285,32 @@ def _cmd_faults(args) -> int:
 
     graph = parse_graph_spec(args.graph, seed=args.seed)
     source = _pick_source(graph, args.source)
+    tracer = None
     try:
-        r, report = _run_faulty(args, graph, source)
+        if args.trace:
+            from .trace import tracing
+
+            with tracing() as tracer:
+                tracer.meta.update(
+                    graph=graph.name, method=args.method, plan=args.plan
+                )
+                r, report = _run_faulty(args, graph, source)
+        else:
+            r, report = _run_faulty(args, graph, source)
     except InjectedKernelAbort as exc:
         # fail-stop: without the recovery runtime an injected abort
         # terminates the run, as it would on real hardware
         print(f"run terminated by injected fault: {exc}")
+        if tracer is not None:
+            _write_trace(tracer, args.trace, None)
         return 1
     print(f"graph   : {graph}")
     print(f"method  : {r.method}")
     print(f"plan    : {report.plan} (seed {report.seed}, "
           f"recovery {'off' if args.no_recovery else 'on'})")
     print(report.summary())
+    if tracer is not None:
+        _write_trace(tracer, args.trace, None)
     ok = report.escaped == 0 and report.verified is not False
     if not args.no_validate:
         try:
@@ -313,6 +331,86 @@ def _run_faulty(args, graph, source):
         recovery=not args.no_recovery,
         **_gpu_kwargs(args, args.method),
     )
+
+
+def _trace_format(path: str, fmt: str | None) -> str:
+    """Resolve an export format: explicit flag, else by file suffix."""
+    if fmt:
+        return fmt
+    return "jsonl" if str(path).endswith(".jsonl") else "chrome"
+
+
+def _write_trace(tracer, path: str, fmt: str | None) -> None:
+    from .trace import write_chrome, write_jsonl
+
+    fmt = _trace_format(path, fmt)
+    (write_jsonl if fmt == "jsonl" else write_chrome)(tracer, path)
+    dropped = f", {tracer.dropped} dropped" if tracer.dropped else ""
+    print(f"wrote {fmt} trace ({len(tracer)} event(s){dropped}) to {path}")
+
+
+def _cmd_trace_run(args) -> int:
+    """Run one method under the tracer and export the event timeline."""
+    from .trace import DEFAULT_CAPACITY, tracing
+
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    source = _pick_source(graph, args.source)
+    with tracing(capacity=args.capacity or DEFAULT_CAPACITY) as tr:
+        tr.meta.update(graph=graph.name, method=args.method, source=source)
+        if args.plan:
+            from .faults import faulty_sssp
+
+            r, report = faulty_sssp(
+                graph, source, method=args.method,
+                plan=args.plan, seed=args.seed, recovery=True,
+                **_gpu_kwargs(args, args.method),
+            )
+            tr.meta["plan"] = report.plan
+        else:
+            r = sssp(
+                graph, source, method=args.method,
+                **_gpu_kwargs(args, args.method),
+            )
+    if not args.no_validate:
+        validate_distances(graph, source, r.dist)
+    print(f"graph  : {graph}")
+    print(f"method : {r.method}  ({r.time_ms:.4f} ms simulated)")
+    _write_trace(tr, args.out, args.format)
+    return 0
+
+
+def _load_trace_file(path: str):
+    """Read a trace file back into a Tracer (meta preserved)."""
+    from .trace import Tracer, load_trace
+
+    if not Path(path).exists():
+        raise SystemExit(f"no such trace file: {path!r}")
+    events, meta = load_trace(path)
+    tr = Tracer(capacity=max(len(events), 1))
+    meta.pop("schema", None)
+    tr.dropped = int(meta.pop("dropped", 0) or 0)
+    tr.meta.update(meta)
+    tr.events.extend(events)
+    return tr
+
+
+def _cmd_trace_summary(args) -> int:
+    """Print the terminal digest of a recorded trace file."""
+    from .trace import format_summary
+
+    tr = _load_trace_file(args.trace_file)
+    print(format_summary(tr))
+    return 0
+
+
+def _cmd_trace_export(args) -> int:
+    """Convert a trace file between the Chrome and JSONL formats."""
+    out = args.out
+    if out is None:
+        suffix = ".jsonl" if args.format == "jsonl" else ".chrome.json"
+        out = str(Path(args.trace_file).with_suffix(suffix))
+    _write_trace(_load_trace_file(args.trace_file), out, args.format)
+    return 0
 
 
 def _cmd_lint(args) -> int:
@@ -361,11 +459,26 @@ def _cmd_bench_run(args) -> int:
     """Run a named suite and write its ``BENCH_<suite>.json`` trajectory."""
     from .bench import run_suite, write_trajectory
 
+    trace_path = getattr(args, "trace", None)
+    if trace_path and args.jobs != 1:
+        raise SystemExit(
+            "bench run --trace requires --jobs 1: worker processes cannot "
+            "stream their device events back to the parent's ring buffer"
+        )
     print(f"running bench suite {args.suite!r} (jobs={args.jobs}) ...")
-    records = run_suite(args.suite, progress=print, jobs=args.jobs)
+    if trace_path:
+        from .trace import tracing
+
+        with tracing() as tr:
+            tr.meta.update(suite=args.suite)
+            records = run_suite(args.suite, progress=print, jobs=args.jobs)
+    else:
+        records = run_suite(args.suite, progress=print, jobs=args.jobs)
     out = Path(args.out) if args.out else Path(f"BENCH_{args.suite}.json")
     write_trajectory(out, records, suite=args.suite)
     print(f"wrote {len(records)} record(s) to {out}")
+    if trace_path:
+        _write_trace(tr, trace_path, None)
     return 0
 
 
@@ -510,6 +623,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--plan", default="lost-updates", choices=plan_names())
     sp.add_argument("--no-recovery", action="store_true",
                     help="inject without the self-healing runtime")
+    sp.add_argument("--trace", default=None, metavar="PATH",
+                    help="also record a structured event trace (faults and "
+                         "recovery actions on the simulated timeline)")
     sp.set_defaults(fn=_cmd_faults)
 
     sp = sub.add_parser(
@@ -534,6 +650,9 @@ def build_parser() -> argparse.ArgumentParser:
                     help="output path (default BENCH_<suite>.json in cwd)")
     bp.add_argument("--jobs", type=int, default=1,
                     help="worker processes for suite cells (0 = all cores)")
+    bp.add_argument("--trace", default=None, metavar="PATH",
+                    help="also record a structured event trace of the whole "
+                         "suite run (requires --jobs 1)")
     bp.set_defaults(fn=_cmd_bench_run)
 
     bp = bench_sub.add_parser(
@@ -557,6 +676,45 @@ def build_parser() -> argparse.ArgumentParser:
     bp.add_argument("a", help="left trajectory file")
     bp.add_argument("b", help="right trajectory file")
     bp.set_defaults(fn=_cmd_bench_diff)
+
+    sp = sub.add_parser(
+        "trace", help="structured event tracing (repro.trace)"
+    )
+    trace_sub = sp.add_subparsers(dest="trace_command", required=True)
+
+    tp = trace_sub.add_parser(
+        "run", help="run one method under the tracer and export the timeline"
+    )
+    common(tp)
+    tp.add_argument("--method", default="rdbs", choices=method_names())
+    tp.add_argument("--out", default="trace.json",
+                    help="output path (default trace.json; *.jsonl selects "
+                         "the JSONL format)")
+    tp.add_argument("--format", default=None, choices=("chrome", "jsonl"),
+                    help="export format (default: by --out suffix)")
+    tp.add_argument("--capacity", type=int, default=None,
+                    help="ring-buffer capacity in events "
+                         "(default 262144; oldest events drop past it)")
+    tp.add_argument("--plan", default=None, choices=plan_names(),
+                    help="also inject this fault plan (recovery on), so the "
+                         "trace shows faults and recovery actions")
+    tp.set_defaults(fn=_cmd_trace_run)
+
+    tp = trace_sub.add_parser(
+        "summary", help="print the terminal digest of a trace file"
+    )
+    tp.add_argument("trace_file", help="chrome or jsonl trace file")
+    tp.set_defaults(fn=_cmd_trace_summary)
+
+    tp = trace_sub.add_parser(
+        "export", help="convert a trace file between chrome and jsonl"
+    )
+    tp.add_argument("trace_file", help="chrome or jsonl trace file")
+    tp.add_argument("--format", required=True, choices=("chrome", "jsonl"),
+                    help="target format")
+    tp.add_argument("--out", default=None,
+                    help="output path (default: input with matching suffix)")
+    tp.set_defaults(fn=_cmd_trace_export)
 
     sp = sub.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"
@@ -586,7 +744,14 @@ def main(argv: list[str] | None = None) -> int:
     if not getattr(args, "fn", None):
         parser.print_help()
         return 2
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # stdout consumer (e.g. `| head`) closed the pipe mid-report;
+        # detach stdout so interpreter shutdown doesn't re-raise on flush
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -82,6 +82,16 @@ class FaultInjector:
     def _kernel_matches(self, spec: FaultSpec, kernel: str) -> bool:
         return spec.kernel is None or spec.kernel in kernel
 
+    def _announce(self, device, event) -> None:
+        """Mirror an injected fault onto the annotate stream, so an
+        attached tracer (docs/observability.md) timestamps it on the
+        simulated timeline; free when nothing subscribes."""
+        if device.handlers("on_annotate"):
+            device.annotate(
+                "fault", kind=event.kind, kernel=event.kernel,
+                array=event.array, index=event.index, detail=event.detail,
+            )
+
     # ------------------------------------------------------------------
     # passive device events
     # ------------------------------------------------------------------
@@ -107,6 +117,7 @@ class FaultInjector:
                     "kernel-abort", ctx.name, "-", -1,
                     device.time_s * 1e3, "launch aborted before execution",
                 )
+                self._announce(device, event)
                 raise InjectedKernelAbort(
                     f"injected abort of kernel {ctx.name!r} "
                     f"(fault #{len(self.report.events)}: {event.kind})"
@@ -142,11 +153,12 @@ class FaultInjector:
             # a radiation-style SEU lands directly in device storage,
             # deliberately bypassing the counted path
             target.data[cell] = new  # repro-lint: disable=AN101
-            self.report.record(
+            event = self.report.record(
                 "bitflip", ctx.name, spec.array, cell,
                 device.time_s * 1e3,
                 f"bit {spec.bit}: {old:g} -> {new:g}",
             )
+            self._announce(device, event)
 
     # ------------------------------------------------------------------
     # transform hooks (called by the device after accounting)
@@ -171,11 +183,12 @@ class FaultInjector:
             old = float(values[lane])
             values = values.copy()
             values[lane] = stale_vals[lane]
-            self.report.record(
+            event = self.report.record(
                 "stale-read", ctx.name, arr.name, int(idx[lane]),
                 ctx.device.time_s * 1e3,
                 f"read {float(stale_vals[lane]):g} instead of {old:g}",
             )
+            self._announce(ctx.device, event)
         return values
 
     def transform_atomic(
@@ -202,11 +215,12 @@ class FaultInjector:
             mask = np.asarray(idx) == cell
             values = values.copy()
             values[mask] = np.inf
-            self.report.record(
+            event = self.report.record(
                 "lost-update", ctx.name, arr.name, cell,
                 ctx.device.time_s * 1e3,
                 f"dropped update to {dropped:g}",
             )
+            self._announce(ctx.device, event)
         return values
 
     def transform_exchange(self, device, step: int, vs, nds):
@@ -217,11 +231,12 @@ class FaultInjector:
             if not self._due(i, spec):
                 continue
             lane = int(self._rng.integers(vs.size))
-            self.report.record(
+            event = self.report.record(
                 "exchange-drop", f"exchange_step{step}", "dist",
                 int(vs[lane]), device.time_s * 1e3,
                 f"dropped message d={float(nds[lane]):g}",
             )
+            self._announce(device, event)
             keep = np.ones(vs.size, dtype=bool)
             keep[lane] = False
             vs, nds = vs[keep], nds[keep]
@@ -231,11 +246,12 @@ class FaultInjector:
             if not self._due(i, spec):
                 continue
             lane = int(self._rng.integers(vs.size))
-            self.report.record(
+            event = self.report.record(
                 "exchange-dup", f"exchange_step{step}", "dist",
                 int(vs[lane]), device.time_s * 1e3,
                 f"duplicated message d={float(nds[lane]):g}",
             )
+            self._announce(device, event)
             vs = np.concatenate([vs, vs[lane : lane + 1]])
             nds = np.concatenate([nds, nds[lane : lane + 1]])
         return vs, nds

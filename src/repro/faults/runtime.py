@@ -203,6 +203,13 @@ class RecoveryRuntime:
         self._ckpt_mark = None
         self.checkpoint()
 
+    def log(self, action: str) -> None:
+        """Log a recovery action, mirroring it onto the annotate stream so
+        an attached tracer timestamps it on the simulated timeline."""
+        self.report.log_action(action)
+        if self.device.handlers("on_annotate"):
+            self.device.annotate("recovery", action=action)
+
     # ------------------------------------------------------------------
     # epoch cadence
     # ------------------------------------------------------------------
@@ -234,7 +241,7 @@ class RecoveryRuntime:
         """Restore the last checkpoint; returns its engine mark."""
         self.device.host_copy(self.dist, self._ckpt)
         self.report.rollbacks += 1
-        self.report.log_action("rollback to last checkpoint")
+        self.log("rollback to last checkpoint")
         return self._ckpt_mark
 
     def recover(self, exc: BaseException, fallback_mark=None):
@@ -246,16 +253,16 @@ class RecoveryRuntime:
         spent; the final repair sweeps remain as the safety net).
         """
         self.report.mark_detected()
-        self.report.log_action(f"caught {type(exc).__name__}: {exc}")
+        self.log(f"caught {type(exc).__name__}: {exc}")
         if self.report.rollbacks < self.policy.max_retries:
             return self.rollback()
-        self.report.log_action("retry budget spent; continuing without rollback")
+        self.log("retry budget spent; continuing without rollback")
         return fallback_mark
 
     def note_degraded(self) -> None:
         """Record the async→sync graceful degradation."""
         self.report.degraded = True
-        self.report.log_action("degraded BASYN phase 1 to synchronous execution")
+        self.log("degraded BASYN phase 1 to synchronous execution")
 
     # ------------------------------------------------------------------
     # probes
@@ -280,7 +287,7 @@ class RecoveryRuntime:
             self.device.host_store(self.dist, bad_idx, repair)
             self.report.repaired_cells += int(bad_idx.size)
             self.report.mark_detected()
-            self.report.log_action(
+            self.log(
                 f"probe: repaired {bad_idx.size} non-monotone/corrupt cell(s)"
             )
         return int(bad_idx.size)
@@ -299,14 +306,14 @@ class RecoveryRuntime:
                 wt = k.gather(self.dgraph.weights, sample, a)
                 k.alu(a, ops=2)
         except InjectedKernelAbort:
-            self.report.log_action("probe kernel aborted; skipping this probe")
+            self.log("probe kernel aborted; skipping this probe")
             return
         nd = du + wt
         dv = self.dist.data[v]
         finite = np.isfinite(nd)
         if np.any(finite & (dv > nd + _tol(nd))):
             self.report.mark_detected()
-            self.report.log_action(
+            self.log(
                 "probe: sampled triangle inequality violated "
                 "(deferring to final repair)"
             )
@@ -362,14 +369,14 @@ class RecoveryRuntime:
             self.device.host_store(self.dist, src, 0.0)
             self.report.repaired_cells += 1
             self.report.mark_detected()
-            self.report.log_action("repaired corrupted source distance")
+            self.log("repaired corrupted source distance")
 
         vid = np.arange(n)
         for _ in range(self.policy.max_repair_sweeps):
             try:
                 cand = self._witness_scan()
             except InjectedKernelAbort:
-                self.report.log_action("verify sweep aborted; retrying")
+                self.log("verify sweep aborted; retrying")
                 self.report.repair_sweeps += 1
                 continue
             cur = self.dist.data
@@ -391,17 +398,17 @@ class RecoveryRuntime:
                 bad_idx = np.flatnonzero(bad)
                 self.device.host_store(self.dist, bad_idx, np.inf)
                 self.report.repaired_cells += int(bad_idx.size)
-                self.report.log_action(
+                self.log(
                     f"repair: purged {bad_idx.size} witness-less cell(s)"
                 )
             try:
                 self._relax_sweep()
             except InjectedKernelAbort:
-                self.report.log_action("relax sweep aborted; retrying")
+                self.log("relax sweep aborted; retrying")
 
         ok = verify_distances_host(self.dgraph.graph, src, self.dist.data)
         self.report.finalize(ok)
-        self.report.log_action(
+        self.log(
             "final verification passed" if ok else "final verification FAILED"
         )
         return ok

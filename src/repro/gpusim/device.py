@@ -67,6 +67,7 @@ OBSERVER_EVENTS = (
     "on_device_barrier",
     "on_host_write",
     "on_kernel_begin",
+    "on_kernel_complete",
     "on_kernel_end",
     "transform_read",
     "transform_atomic",
@@ -603,6 +604,10 @@ class GPUDevice:
         )
         self.time_s += ctx.time_s
         self.counters.record(name, ctx.counters)
+        # unlike on_kernel_end (which fires before cache resolution so
+        # transforms can still see the launch open), this event sees the
+        # final ctx.time_s/counters — the tracer's kernel spans hang here
+        self._notify("on_kernel_complete", self, ctx)
         if prof is not None:
             prof.add("kernel_host", time.perf_counter() - t_host)
 

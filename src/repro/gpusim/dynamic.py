@@ -67,7 +67,9 @@ def classify_workloads(edge_counts: np.ndarray) -> WorkloadClasses:
 
 
 def launch_adaptive(
-    ctx: KernelContext, edge_counts: np.ndarray
+    ctx: KernelContext,
+    edge_counts: np.ndarray,
+    classes: WorkloadClasses | None = None,
 ) -> list[tuple[np.ndarray, WorkAssignment]]:
     """Build the adaptive phase-1 assignments and account child launches.
 
@@ -78,6 +80,10 @@ def launch_adaptive(
         to it at device-side latency.
     edge_counts:
         light-edge count per active vertex.
+    classes:
+        pre-computed classification of ``edge_counts`` (callers that also
+        report the small/middle/large histogram classify once and pass it
+        in); derived here when omitted.
 
     Returns
     -------
@@ -86,7 +92,8 @@ def launch_adaptive(
     list; the assignment's work items are the concatenated edges of those
     vertices in list order (the caller builds matching edge index arrays).
     """
-    classes = classify_workloads(edge_counts)
+    if classes is None:
+        classes = classify_workloads(edge_counts)
     out: list[tuple[np.ndarray, WorkAssignment]] = []
 
     if classes.small.size:

@@ -30,6 +30,7 @@ __all__ = [
     "active_profiler",
     "profiling",
     "region",
+    "set_region_sink",
 ]
 
 
@@ -85,10 +86,24 @@ class HostProfiler:
 
 _active: HostProfiler | None = None
 
+#: optional extra consumer of completed regions — ``fn(name, seconds)``.
+#: The trace layer installs one so host regions land on the event
+#: timeline; like the profiler itself, None (the default) is free.
+_region_sink = None
+
 
 def active_profiler() -> HostProfiler | None:
     """The currently-activated profiler, or None (the common, free case)."""
     return _active
+
+
+def set_region_sink(sink):
+    """Install ``fn(name, seconds)`` as the region sink; returns the
+    previous sink so callers can restore it."""
+    global _region_sink
+    prev = _region_sink
+    _region_sink = sink
+    return prev
 
 
 @contextmanager
@@ -106,13 +121,18 @@ def profiling():
 
 @contextmanager
 def region(name: str):
-    """Time a named region iff a profiler is active; free otherwise."""
+    """Time a named region iff a profiler or sink is active; free otherwise."""
     prof = _active
-    if prof is None:
+    sink = _region_sink
+    if prof is None and sink is None:
         yield
         return
     t0 = time.perf_counter()
     try:
         yield
     finally:
-        prof.add(name, time.perf_counter() - t0)
+        dt = time.perf_counter() - t0
+        if prof is not None:
+            prof.add(name, dt)
+        if sink is not None:
+            sink(name, dt)

@@ -103,6 +103,12 @@ def adds_sssp(
             promote = candidates[dvals < threshold]
             far_mask[promote] = False
             in_near[promote] = True
+            if device.handlers("on_annotate"):
+                device.annotate(
+                    "adds_split", threshold=threshold, delta=cur_delta,
+                    promoted=int(promote.size),
+                    far_remaining=int(candidates.size - promote.size),
+                )
             if promote.size:
                 near.append(promote)
             # Δ feedback: grow Δ when batches under-fill the device,
@@ -160,6 +166,8 @@ def _adds_async(
     worklist_buf, far_buf, stats, threshold, max_steps, cur_delta, counters,
 ):
     """Drain the near worklist inside one persistent asynchronous kernel."""
+    # per-round telemetry is host-only and gated on an attached observer
+    note_rounds = bool(k.device.handlers("on_annotate"))
     while near:
         counters["steps"] += 1
         if counters["steps"] > max_steps:
@@ -174,6 +182,12 @@ def _adds_async(
             chunk = chunk[:_CHUNK]
         in_near[chunk] = False
         counters["rounds"] += 1
+        if note_rounds:
+            k.device.annotate(
+                "adds_round", round=counters["rounds"],
+                drained=int(chunk.size),
+                near_pending=int(sum(part.size for part in near)),
+            )
 
         batch = dgraph.batch(chunk, "all")
         a = thread_per_vertex_edges(batch.counts)

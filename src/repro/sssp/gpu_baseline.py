@@ -63,8 +63,14 @@ def bl_sssp(
 
     frontier = np.array([source], dtype=np.int64)
     iterations = 0
+    # per-iteration telemetry is host-only and gated on an attached observer
+    note_rounds = bool(device.handlers("on_annotate"))
     while frontier.size:
         iterations += 1
+        if note_rounds:
+            device.annotate(
+                "bl_round", iteration=iterations, frontier=int(frontier.size)
+            )
         if iterations > limit:
             if not default_bound:
                 break  # caller-requested truncation: partial result

@@ -32,7 +32,7 @@ from ..faults.runtime import Watchdog, WatchdogTimeout, make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.compaction import compact
 from ..gpusim.device import GPUDevice, KernelContext
-from ..gpusim.dynamic import launch_adaptive
+from ..gpusim.dynamic import classify_workloads, launch_adaptive
 from ..gpusim.kernels import (
     grid_stride,
     thread_per_item,
@@ -197,6 +197,10 @@ def _rdbs_run(
     lo = 0.0
     buckets_processed = 0
     total_rounds = 0
+    #: one row per processed bucket (the Δ_i trajectory of Eq. 1–2),
+    #: surfaced on the result's ``extra`` and mirrored by the trace layer's
+    #: bucket spans.  Aborted buckets keep None feedback fields.
+    bucket_telemetry: list[dict] = []
 
     while True:
         unsettled = np.isfinite(dist.data) & (dist.data >= lo)
@@ -211,6 +215,7 @@ def _rdbs_run(
             interval = controller.next_interval()
             b_lo, b_hi = interval.lo, interval.hi
             bucket_id = interval.index
+            eps_i = controller.epsilons[-1]
             if b_hi <= min_unsettled:
                 # empty bucket: report zero feedback and move on cheaply
                 controller.feedback(0, 0)
@@ -220,6 +225,7 @@ def _rdbs_run(
             bucket_id = int(np.floor(min_unsettled / delta))
             b_lo = bucket_id * delta
             b_hi = b_lo + delta
+            eps_i = 0.0
         lo = max(lo, b_lo)
 
         members = np.flatnonzero((dist.data >= b_lo) & (dist.data < b_hi))
@@ -301,6 +307,16 @@ def _rdbs_run(
                 controller = None
                 runtime.note_degraded()
             bucket_phase1.append(p1_stats)
+            device.annotate(
+                "bucket_close", index=bucket_id, lo=b_lo, hi=b_hi,
+                delta=b_hi - b_lo, epsilon=eps_i, converged=None,
+                threads=None, rounds=None, aborted=True,
+            )
+            bucket_telemetry.append({
+                "bucket": bucket_id, "lo": b_lo, "hi": b_hi,
+                "delta": b_hi - b_lo, "epsilon": eps_i, "converged": None,
+                "threads": None, "rounds": None, "aborted": True,
+            })
             if trace is not None:
                 trace.end_bucket(device.time_s - t_start)
             continue
@@ -309,6 +325,20 @@ def _rdbs_run(
         if controller is not None:
             controller.feedback(int(outcome.settled.size), outcome.threads_used)
         bucket_phase1.append(p1_stats)
+        device.annotate(
+            "bucket_close", index=bucket_id, lo=b_lo, hi=b_hi,
+            delta=b_hi - b_lo, epsilon=eps_i,
+            converged=int(outcome.settled.size),
+            threads=outcome.threads_used, rounds=outcome.rounds,
+            aborted=False,
+        )
+        bucket_telemetry.append({
+            "bucket": bucket_id, "lo": b_lo, "hi": b_hi,
+            "delta": b_hi - b_lo, "epsilon": eps_i,
+            "converged": int(outcome.settled.size),
+            "threads": outcome.threads_used, "rounds": outcome.rounds,
+            "aborted": False,
+        })
         if trace is not None:
             trace.end_bucket(device.time_s - t_start)
         lo = b_hi
@@ -344,6 +374,9 @@ def _rdbs_run(
             "adwl": adwl,
             "basyn": basyn,
             "delta_rescaled": rescaled,
+            "bucket_telemetry": bucket_telemetry,
+            "delta_series": [row["delta"] for row in bucket_telemetry],
+            "epsilon_series": [row["epsilon"] for row in bucket_telemetry],
         },
         faults=runtime.report if runtime is not None else None,
     )
@@ -396,7 +429,14 @@ def _relax_light(
         # one pass of per-vertex ALU work
         a_cls = thread_per_item(vertices.size)
         ctx.alu(a_cls, ops=2)
-        groups = launch_adaptive(ctx, counts)
+        classes = classify_workloads(counts)
+        if ctx.device.handlers("on_annotate"):
+            ctx.device.annotate(
+                "adwl", small=int(classes.small.size),
+                middle=int(classes.middle.size),
+                large=int(classes.large.size),
+            )
+        groups = launch_adaptive(ctx, counts, classes)
     else:
         groups = [(np.arange(vertices.size), thread_per_vertex_edges(counts))]
 
@@ -452,9 +492,13 @@ def _phase1_async(
     # by the manager threads (global store traffic).  Write-only scratch,
     # so the allocation stays uninitialized (cudaMalloc semantics)
     queue_buf = device.empty(dist.size, dtype=np.int64, name="workload_lists")
+    # per-round drain telemetry is host-side only, so it is gated on an
+    # attached on_annotate observer — without one, no payload is built
+    note_rounds = bool(device.handlers("on_annotate"))
 
     with device.launch("phase1_async") as k:
         while queue:
+            reactivated = 0
             chunk_parts: list[np.ndarray] = []
             need = chunk_size
             while queue and need > 0:
@@ -497,6 +541,13 @@ def _phase1_async(
                     k.scatter(queue_buf, cand, cand, a_push)
                     in_queue[cand] = True
                     queue.append(cand)
+                    reactivated = int(cand.size)
+            if note_rounds:
+                device.annotate(
+                    "async_round", round=rounds, drained=int(chunk.size),
+                    reactivated=reactivated,
+                    pending=int(sum(part.size for part in queue)),
+                )
 
     return _BucketOutcome(
         settled=np.flatnonzero(settled_mask),
@@ -524,12 +575,17 @@ def _phase1_sync(
     settled_mask = np.zeros(dist.size, dtype=bool)
     threads_used = 0
     rounds = 0
+    note_rounds = bool(device.handlers("on_annotate"))
     frontier = members
     while frontier.size:
         rounds += 1
         settled_mask[frontier] = True
         if trace is not None:
             trace.iteration(int(frontier.size))
+        if note_rounds:
+            device.annotate(
+                "sync_round", round=rounds, frontier=int(frontier.size)
+            )
         with device.launch("phase1_sync") as k:
             targets, threads = _relax_light(
                 k, dgraph, dist, frontier, split,

@@ -1,0 +1,40 @@
+"""One-call traced execution: run an SSSP method under the tracer.
+
+Mirrors :func:`repro.analysis.driver.sanitized_sssp` so CLIs, tests and
+docs can trace any engine with one call::
+
+    result, tracer = traced_sssp(graph, source, method="rdbs")
+    write_chrome(tracer, "trace.json")
+"""
+
+from __future__ import annotations
+
+from .tracer import DEFAULT_CAPACITY, Tracer, tracing
+
+__all__ = ["traced_sssp"]
+
+
+def traced_sssp(
+    graph,
+    source: int,
+    method: str = "rdbs",
+    *,
+    capacity: int = DEFAULT_CAPACITY,
+    tracer: Tracer | None = None,
+    **kwargs,
+) -> tuple:
+    """Run ``method`` with a freshly attached :class:`Tracer`.
+
+    Returns ``(SSSPResult, Tracer)``.  The tracer's ``meta`` records the
+    run parameters so exported traces are self-describing.
+    """
+    from ..sssp import sssp  # local import: trace must not cycle with sssp
+
+    with tracing(tracer, capacity=capacity) as tr:
+        tr.meta.setdefault("method", method)
+        tr.meta.setdefault("source", int(source))
+        name = getattr(graph, "name", None)
+        if name:
+            tr.meta.setdefault("graph", name)
+        result = sssp(graph, source, method=method, **kwargs)
+    return result, tr
