@@ -8,7 +8,11 @@ Two cooperating halves, both reachable from the CLI:
   sanitize``);
 * :mod:`repro.analysis.lint` — ``repro-lint``, an AST pass enforcing the
   kernel-authoring idiom (every device access through ``KernelContext``)
-  plus generic hygiene (``python -m repro.cli lint``).
+  plus generic hygiene (``python -m repro.cli lint``);
+* :mod:`repro.analysis.static` — the static effect analyzer: kernel IR,
+  index-provenance dataflow, per-kernel effect signatures, AN3xx race
+  proofs and async-safety verdicts, and the committed
+  ``ANALYSIS_manifest.json`` drift gate (``python -m repro.cli analyze``).
 
 The paper's BASYN design (§4.3) *depends* on races being benign — barriers
 are dropped and relaxations collide on ``atomicMin`` because distance
@@ -26,6 +30,7 @@ from .sanitizer import (
     SanitizerReport,
     attached,
 )
+from .static import StaticFinding, analyze_paths
 
 __all__ = [
     "Finding",
@@ -38,4 +43,6 @@ __all__ = [
     "lint_source",
     "lint_paths",
     "DEFAULT_EXEMPT",
+    "StaticFinding",
+    "analyze_paths",
 ]

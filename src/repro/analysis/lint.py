@@ -15,8 +15,10 @@ PriorityGraph's compiler enforces ordered-algorithm structure:
     reads and writes there must go through ``KernelContext`` (``gather`` /
     ``scatter`` / ``atomic_min`` / ``atomic_add``) to be counted.
 ``AN103`` scalar device read-back in a hot loop
-    ``float(arr.data[i])`` or ``(...).item()`` inside a ``for``/``while``
-    loop — a per-iteration D2H round-trip that real GPU code hoists.
+    ``float(arr.data[i])`` / ``int(...)`` / ``bool(...)`` — including an
+    element read buried in a larger expression — or ``(...).item()``
+    inside a ``for``/``while`` loop: a per-iteration D2H round-trip that
+    real GPU code hoists.
 ``AN201`` mutable default argument
     ``def f(x=[])`` and friends (generic hygiene).
 ``AN202`` missing ``__all__``
@@ -66,6 +68,31 @@ def _is_data_attr(node: ast.AST) -> bool:
 
 def _contains_data_attr(node: ast.AST) -> bool:
     return any(_is_data_attr(n) for n in ast.walk(node))
+
+
+#: reductions that legitimately collapse a device slice to one transfer
+_AGGREGATIONS = frozenset({"min", "max", "sum", "any", "all", "mean", "prod"})
+
+
+def _contains_data_subscript(node: ast.AST, in_agg: bool = False) -> bool:
+    """True when ``node`` contains an element read like ``arr.data[i]``.
+
+    Subscripts feeding an aggregation (``dist.data[mask].min()``) are
+    exempt: that is one reduction transfer per iteration — the idiom a
+    real implementation expresses as a device reduction — not the
+    per-element round-trip AN103 exists to catch.
+    """
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _AGGREGATIONS
+    ):
+        in_agg = True
+    if isinstance(node, ast.Subscript) and _is_data_attr(node.value) and not in_agg:
+        return True
+    return any(
+        _contains_data_subscript(c, in_agg) for c in ast.iter_child_nodes(node)
+    )
 
 
 def _is_launch_call(node: ast.AST) -> bool:
@@ -159,19 +186,21 @@ class _Visitor(ast.NodeVisitor):
             and _contains_data_attr(node.args[0])
         ):
             self._check_data_write(node.args[0], node)
-        # AN103: float(arr.data[i]) in a loop
+        # AN103: float/int/bool(... arr.data[i] ...) in a loop — covers
+        # direct element reads and element reads buried in an expression
+        # (``float(dist.data[u] + w)``); applies to for AND while bodies
+        # (self._loop_depth counts both)
         if (
             self._loop_depth
             and isinstance(node.func, ast.Name)
-            and node.func.id == "float"
+            and node.func.id in ("float", "int", "bool")
             and node.args
-            and isinstance(node.args[0], ast.Subscript)
-            and _is_data_attr(node.args[0].value)
+            and _contains_data_subscript(node.args[0])
         ):
             self._emit(
                 node, "AN103",
-                "scalar device read-back (float(arr.data[i])) inside a "
-                "loop; hoist it or keep the value device-resident",
+                f"scalar device read-back ({node.func.id}(arr.data[i])) "
+                "inside a loop; hoist it or keep the value device-resident",
             )
         # AN103: (... .data ...).item() in a loop
         if (

@@ -1,0 +1,74 @@
+"""``repro.analysis.static`` — authoring-time kernel effect inference.
+
+The static counterpart of :mod:`repro.analysis.sanitizer`: where the
+sanitizer observes one concrete run, this package parses every
+``device.launch`` block into a kernel IR (:mod:`.ir`), infers index
+provenance by abstract interpretation (:mod:`.dataflow`), folds the ops
+into per-kernel effect signatures with device-function inlining
+(:mod:`.effects`), and checks the AN3xx race/async-safety rules
+(:mod:`.rules`).  :mod:`.manifest` pins the signatures into a committed
+``ANALYSIS_manifest.json`` that CI gates on, mirroring ``bench check``.
+
+High-level entry point::
+
+    from repro.analysis.static import analyze_paths
+    signatures, findings = analyze_paths(["src/repro"])
+"""
+
+from __future__ import annotations
+
+from .builder import JUSTIFICATION, Corpus, build_corpus
+from .effects import (
+    DEFAULT_DIST_NAMES,
+    EffectSignature,
+    classify_scatter,
+    effect_signature,
+    expand_kernel,
+)
+from .ir import CFG, Block, Fragment, KernelOp
+from .manifest import (
+    SCHEMA_VERSION,
+    build_manifest,
+    diff_manifest,
+    load_manifest,
+    signature_payload,
+    write_manifest,
+)
+from .rules import StaticFinding, analyze_corpus, check_kernel
+
+__all__ = [
+    "JUSTIFICATION",
+    "Corpus",
+    "build_corpus",
+    "DEFAULT_DIST_NAMES",
+    "EffectSignature",
+    "classify_scatter",
+    "effect_signature",
+    "expand_kernel",
+    "CFG",
+    "Block",
+    "Fragment",
+    "KernelOp",
+    "SCHEMA_VERSION",
+    "build_manifest",
+    "diff_manifest",
+    "load_manifest",
+    "signature_payload",
+    "write_manifest",
+    "StaticFinding",
+    "analyze_corpus",
+    "check_kernel",
+    "analyze_paths",
+]
+
+
+def analyze_paths(paths, dist_names=DEFAULT_DIST_NAMES):
+    """Build the corpus for ``paths`` and analyze every kernel.
+
+    Returns ``(signatures, findings)`` where ``signatures`` maps the
+    stable kernel key (``path::label``) to its
+    :class:`~.effects.EffectSignature` and ``findings`` is the sorted
+    list of :class:`~.rules.StaticFinding`.
+    """
+    corpus = build_corpus(paths)
+    return analyze_corpus(corpus, dist_names)

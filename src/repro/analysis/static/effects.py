@@ -1,0 +1,251 @@
+"""Effect signatures: per-kernel memory-effect summaries after inlining.
+
+A kernel's *effect signature* answers, per device array: which op kinds
+touch it (``gather`` / ``scatter`` / ``atomic_min`` / ``atomic_add``)
+and with what index provenance.  Device-function calls are expanded
+recursively so a kernel that relaxes through ``relax_batch`` is
+summarized identically to one that inlines the same ops by hand —
+``param:<name>`` provenance and formal-rooted array names are
+substituted with the caller's argument facts at each call site.
+
+Each scatter site is then classified:
+
+``disjoint``
+    index provenance is constant / affine / unique — no two work items
+    share an address; the plain store is a *static race proof*.
+``uniform``
+    every element stores one provable value (``np.full`` & co.) — the
+    flag-marking idiom; duplicate addresses cannot disagree.
+``racy``
+    gathered index with varied values — the exact hazard ``atomic_min``
+    exists to absorb; always an error (AN301).
+``unknown``
+    the analyzer cannot prove either way — requires an in-source
+    ``repro-static: assume-disjoint`` justification (AN302).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+
+from . import dataflow as df
+from .builder import Corpus
+from .ir import MEMORY_OPS, Fragment, KernelOp
+
+__all__ = [
+    "ExpandedOp",
+    "EffectSignature",
+    "expand_kernel",
+    "effect_signature",
+    "classify_scatter",
+    "DEFAULT_DIST_NAMES",
+]
+
+#: substring match deciding which arrays hold tentative distances
+DEFAULT_DIST_NAMES = ("dist",)
+
+_ROOT_RE = re.compile(r"^[A-Za-z_]\w*")
+
+#: maximum device-function inlining depth (cycle backstop)
+_MAX_DEPTH = 8
+
+
+@dataclass
+class ExpandedOp:
+    """One post-inlining op, tagged with its top-level window anchor."""
+
+    op: KernelOp
+    #: index of the originating top-level op in the kernel's op list —
+    #: window membership is decided at this granularity
+    top: int
+    path: str
+    line: int
+    #: callee chain for messages, e.g. ``relax_batch`` (None if direct)
+    via: str | None = None
+
+
+def _subst_text(text: str | None, binding: dict, receiver: str | None) -> str | None:
+    """Rewrite the root name of an expression with caller-side facts."""
+    if text is None:
+        return None
+    m = _ROOT_RE.match(text)
+    if not m:
+        return text
+    root = m.group(0)
+    if root == "self" and receiver:
+        return receiver + text[len(root):]
+    if root in binding:
+        return binding[root][0] + text[len(root):]
+    return text
+
+
+def _canonical_from_text(text: str | None) -> str | None:
+    if text is None:
+        return None
+    try:
+        return df.canonical_array(ast.parse(text, mode="eval").body)
+    except SyntaxError:
+        return text
+
+
+def _subst_op(op: KernelOp, binding: dict, receiver: str | None) -> KernelOp:
+    """A copy of ``op`` with caller facts substituted in."""
+    new = replace(op)
+    if op.kind in MEMORY_OPS:
+        new.array = _subst_text(op.array, binding, receiver)
+        new.array_name = _canonical_from_text(new.array)
+        if df.is_param(op.provenance):
+            bound = binding.get(df.param_name(op.provenance))
+            if bound is not None:
+                new.provenance = bound[1]
+    return new
+
+
+def _call_binding(op: KernelOp, frag: Fragment, binding: dict,
+                  receiver: str | None) -> dict:
+    """formal name → (text, provenance, value-class) at this call site."""
+    out: dict = {}
+    for pos, formal in enumerate(frag.params):
+        if pos < len(op.args):
+            text = _subst_text(op.args[pos], binding, receiver)
+            prov = op.arg_provenance[pos]
+            val = op.arg_values[pos]
+            if df.is_param(prov):
+                bound = binding.get(df.param_name(prov))
+                if bound is not None:
+                    prov = bound[1]
+            out[formal] = (text, prov, val)
+    for name, text, prov, val in op.kwargs:
+        if df.is_param(prov):
+            bound = binding.get(df.param_name(prov))
+            if bound is not None:
+                prov = bound[1]
+        out[name] = (_subst_text(text, binding, receiver), prov, val)
+    return out
+
+
+def expand_kernel(frag: Fragment, corpus: Corpus) -> list[ExpandedOp]:
+    """Recursively inline device-function calls into a flat op list."""
+    out: list[ExpandedOp] = []
+
+    def emit(op: KernelOp, src: Fragment, top: int, binding: dict,
+             receiver: str | None, via: str | None, justified: bool,
+             depth: int, stack: tuple) -> None:
+        if op.kind == "call":
+            callee = corpus.device_fns.get(op.callee or "")
+            if callee is None or op.callee in stack or depth >= _MAX_DEPTH:
+                out.append(ExpandedOp(replace(op), top, src.path, op.line, via))
+                return
+            sub_recv = _subst_text(op.receiver, binding, receiver)
+            sub_binding = _call_binding(op, callee, binding, receiver)
+            chain = op.callee if via is None else f"{via}>{op.callee}"
+            for inner in callee.ops:
+                emit(inner, callee, top, sub_binding, sub_recv, chain,
+                     justified or op.justified, depth + 1, stack + (op.callee,))
+            return
+        new = _subst_op(op, binding, receiver)
+        if justified:
+            new.justified = True
+        out.append(ExpandedOp(new, top, src.path, op.line, via))
+
+    for i, op in enumerate(frag.ops):
+        emit(op, frag, i, {}, None, None, False, 0, ())
+    return out
+
+
+def classify_scatter(op: KernelOp) -> str:
+    """disjoint / uniform / racy / unknown for one plain scatter."""
+    if op.provenance in df.INJECTIVE:
+        return "disjoint"
+    if op.value == "uniform":
+        return "uniform"
+    if op.provenance == df.GATHERED:
+        return "racy"
+    return "unknown"
+
+
+@dataclass
+class EffectSignature:
+    """The manifest-facing summary of one kernel's device-memory effects."""
+
+    key: str
+    label: str
+    path: str
+    owner: str | None
+    #: post-inlining op counts per kind
+    ops: dict = field(default_factory=dict)
+    #: array name → op kind → sorted provenance tags
+    arrays: dict = field(default_factory=dict)
+    #: classified plain-scatter sites (stable order, no line numbers)
+    scatters: list = field(default_factory=list)
+    barriers: int = 0
+    async_rounds: int = 0
+    #: async-safe / requires-barrier / unsafe
+    verdict: str = "async-safe"
+    #: distance arrays this kernel writes, per discipline
+    dist_writes: dict = field(default_factory=dict)
+
+
+def _is_dist_array(name: str | None, dist_names) -> bool:
+    if not name:
+        return False
+    low = name.lower()
+    return any(tag in low for tag in dist_names)
+
+
+def effect_signature(
+    frag: Fragment,
+    expanded: list[ExpandedOp],
+    dist_names=DEFAULT_DIST_NAMES,
+) -> EffectSignature:
+    """Fold expanded ops into an :class:`EffectSignature`."""
+    sig = EffectSignature(
+        key=frag.key, label=frag.label, path=frag.path, owner=frag.owner
+    )
+    arrays: dict[str, dict[str, set]] = {}
+    for e in expanded:
+        op = e.op
+        sig.ops[op.kind] = sig.ops.get(op.kind, 0) + 1
+        if op.kind == "device_barrier":
+            sig.barriers += 1
+        elif op.kind == "async_round":
+            sig.async_rounds += 1
+        if op.kind not in MEMORY_OPS or not op.array_name:
+            continue
+        slot = arrays.setdefault(op.array_name, {})
+        slot.setdefault(op.kind, set()).add(op.provenance)
+        if op.kind == "scatter":
+            sig.scatters.append(
+                {
+                    "array": op.array_name,
+                    "index_provenance": op.provenance,
+                    "value": op.value or "unknown",
+                    "class": classify_scatter(op),
+                    "justified": op.justified,
+                }
+            )
+        if op.kind in ("scatter", "atomic_min", "atomic_add") and _is_dist_array(
+            op.array_name, dist_names
+        ):
+            sig.dist_writes.setdefault(op.kind, set()).add(op.array_name)
+    sig.arrays = {
+        name: {kind: sorted(tags) for kind, tags in sorted(kinds.items())}
+        for name, kinds in sorted(arrays.items())
+    }
+    sig.scatters.sort(
+        key=lambda s: (s["array"], s["index_provenance"], s["value"], s["class"])
+    )
+    sig.dist_writes = {
+        kind: sorted(names) for kind, names in sorted(sig.dist_writes.items())
+    }
+
+    non_monotone = set(sig.dist_writes) - {"atomic_min"}
+    if not non_monotone:
+        sig.verdict = "async-safe"
+    elif sig.async_rounds > 0:
+        sig.verdict = "unsafe"
+    else:
+        sig.verdict = "requires-barrier"
+    return sig

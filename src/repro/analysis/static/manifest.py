@@ -1,0 +1,96 @@
+"""ANALYSIS_manifest.json: the committed effect-signature baseline.
+
+Mirrors the ``bench check`` drift gate: the manifest pins every kernel's
+inferred effect signature (arrays touched, op kinds, index provenance,
+scatter classifications, async verdict); CI recomputes the signatures
+and fails when they differ from the committed file.  An engine change
+that alters a kernel's atomic discipline therefore fails the gate until
+the author refreshes the manifest — making the diff reviewable.
+
+Signatures deliberately exclude line numbers so that unrelated edits to
+a file do not invalidate the baseline; only *effect-visible* changes do.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .effects import EffectSignature
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "signature_payload",
+    "build_manifest",
+    "load_manifest",
+    "write_manifest",
+    "diff_manifest",
+]
+
+SCHEMA_VERSION = 1
+
+
+def signature_payload(sig: EffectSignature) -> dict:
+    """The JSON-stable subset of one signature (no line numbers)."""
+    return {
+        "label": sig.label,
+        "path": sig.path,
+        "owner": sig.owner,
+        "ops": {k: sig.ops[k] for k in sorted(sig.ops)},
+        "arrays": sig.arrays,
+        "scatters": sig.scatters,
+        "barriers": sig.barriers,
+        "async_rounds": sig.async_rounds,
+        "dist_writes": sig.dist_writes,
+        "verdict": sig.verdict,
+    }
+
+
+def build_manifest(signatures: dict[str, EffectSignature]) -> dict:
+    """The full manifest document for ``signatures``."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "tool": "repro.cli analyze --manifest <file> --refresh",
+        "kernels": {
+            key: signature_payload(signatures[key]) for key in sorted(signatures)
+        },
+    }
+
+
+def load_manifest(path: str | Path) -> dict:
+    """Read a committed manifest (raises ``FileNotFoundError`` if absent)."""
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def write_manifest(path: str | Path, manifest: dict) -> None:
+    """Write ``manifest`` deterministically (sorted keys, trailing NL)."""
+    with open(path, "w") as fh:
+        json.dump(manifest, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def _changed_fields(old: dict, new: dict) -> list[str]:
+    fields = sorted(set(old) | set(new))
+    return [f for f in fields if old.get(f) != new.get(f)]
+
+
+def diff_manifest(committed: dict, computed: dict) -> list[str]:
+    """Human-readable drift lines; empty when the gate passes."""
+    drift: list[str] = []
+    if committed.get("schema") != computed.get("schema"):
+        drift.append(
+            f"schema: committed {committed.get('schema')!r} != "
+            f"computed {computed.get('schema')!r}"
+        )
+    old = committed.get("kernels", {})
+    new = computed.get("kernels", {})
+    for key in sorted(set(old) - set(new)):
+        drift.append(f"removed kernel: {key}")
+    for key in sorted(set(new) - set(old)):
+        drift.append(f"new kernel: {key}")
+    for key in sorted(set(old) & set(new)):
+        if old[key] != new[key]:
+            fields = ", ".join(_changed_fields(old[key], new[key]))
+            drift.append(f"changed kernel: {key} ({fields})")
+    return drift

@@ -1,0 +1,228 @@
+"""AN3xx rules: static race proofs and the async-safety audit.
+
+The AN1xx/AN2xx series (``repro.analysis.lint``) are surface lints; the
+AN3xx series reasons about the kernel IR after effect inference:
+
+=======  ========  ======================================================
+code     severity  meaning
+=======  ========  ======================================================
+AN301    error     provably racy scatter: gathered index, varied values,
+                   no atomic — two work items can legitimately collide
+AN302    error     unverifiable scatter (unknown index provenance) with
+                   no ``repro-static: assume-disjoint`` justification
+AN303    error/    plain (non-atomic) store to a distance array — breaks
+         warning   the monotone-commutative argument (Eq. 1–2); *error*
+                   when the kernel runs asynchronous rounds, *warning*
+                   (requires-barrier) otherwise
+AN304    error     atomic and plain writes to one array inside a single
+                   barrier-free window — the mix the dynamic sanitizer
+                   flags as ``atomic-plain-mix``, caught statically
+AN305    error     two distinct varied-value plain-store sites hitting
+                   one array inside a single barrier-free window
+AN306    warning   ``atomic_add`` on a distance array — commutative but
+                   not monotone; verify against Eq. 1 before relying on
+                   async execution
+=======  ========  ======================================================
+
+Justifications silence AN302 only: a *provably* racy scatter (AN301)
+stays an error no matter the annotation — the fix is an atomic, not a
+comment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .builder import JUSTIFICATION, Corpus
+from .effects import (
+    DEFAULT_DIST_NAMES,
+    EffectSignature,
+    ExpandedOp,
+    classify_scatter,
+    effect_signature,
+    expand_kernel,
+    _is_dist_array,
+)
+from .ir import Fragment
+
+__all__ = ["StaticFinding", "analyze_corpus", "check_kernel"]
+
+
+@dataclass(frozen=True)
+class StaticFinding:
+    """One static-analysis finding, sortable by (path, line, code)."""
+
+    path: str
+    line: int
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    kernel: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        return (
+            f"{self.path}:{self.line}: {self.code} [{self.severity}] "
+            f"{self.message} (kernel {self.kernel})"
+        )
+
+
+def _site(e: ExpandedOp) -> str:
+    where = f"{e.op.array_name}[{e.op.index}]"
+    if e.via:
+        where += f" via {e.via}"
+    return where
+
+
+def check_kernel(
+    frag: Fragment,
+    corpus: Corpus,
+    dist_names=DEFAULT_DIST_NAMES,
+) -> tuple[EffectSignature, list[StaticFinding]]:
+    """Effect signature + AN3xx findings for one kernel fragment."""
+    expanded = expand_kernel(frag, corpus)
+    sig = effect_signature(frag, expanded, dist_names)
+    findings: list[StaticFinding] = []
+
+    def add(code: str, severity: str, e: ExpandedOp, message: str) -> None:
+        findings.append(
+            StaticFinding(e.path, e.line, code, severity, message, frag.key)
+        )
+
+    mem = [e for e in expanded if e.op.kind in ("scatter", "atomic_min", "atomic_add")]
+
+    # per-site rules -----------------------------------------------------
+    for e in mem:
+        op = e.op
+        if op.kind == "scatter":
+            cls = classify_scatter(op)
+            if cls == "racy":
+                add(
+                    "AN301",
+                    "error",
+                    e,
+                    f"provably racy scatter: {_site(e)} indexes through "
+                    f"gathered values with varied data; use atomic_min/"
+                    f"atomic_add or prove the index disjoint",
+                )
+            elif cls == "unknown" and not op.justified:
+                add(
+                    "AN302",
+                    "error",
+                    e,
+                    f"cannot prove scatter disjoint: {_site(e)} has "
+                    f"'{op.provenance}' index provenance; annotate the line "
+                    f"with '{JUSTIFICATION}' after auditing, or restructure "
+                    f"the index",
+                )
+            if _is_dist_array(op.array_name, dist_names):
+                if sig.async_rounds > 0:
+                    add(
+                        "AN303",
+                        "error",
+                        e,
+                        f"plain store to distance array {_site(e)} inside an "
+                        f"asynchronous kernel; distance updates must go "
+                        f"through atomic_min to stay monotone",
+                    )
+                else:
+                    add(
+                        "AN303",
+                        "warning",
+                        e,
+                        f"plain store to distance array {_site(e)}; kernel is "
+                        f"synchronous today but requires a barrier before "
+                        f"any async use",
+                    )
+        elif op.kind == "atomic_add" and _is_dist_array(op.array_name, dist_names):
+            add(
+                "AN306",
+                "warning",
+                e,
+                f"atomic_add on distance array {_site(e)} is commutative but "
+                f"not monotone; async rounds may observe increased distances",
+            )
+
+    # window rules -------------------------------------------------------
+    reach = frag.cfg.barrier_free_reach(frag.ops)
+
+    def same_window(a: ExpandedOp, b: ExpandedOp) -> bool:
+        return (
+            a.top == b.top
+            or b.top in reach[a.top]
+            or a.top in reach[b.top]
+        )
+
+    by_array: dict[str, list[ExpandedOp]] = {}
+    for e in mem:
+        if e.op.array_name:
+            by_array.setdefault(e.op.array_name, []).append(e)
+
+    seen_304: set[tuple] = set()
+    seen_305: set[tuple] = set()
+    for name, sites in by_array.items():
+        atomics = [e for e in sites if e.op.kind in ("atomic_min", "atomic_add")]
+        plains = [e for e in sites if e.op.kind == "scatter"]
+        for p in plains:
+            for a in atomics:
+                if not same_window(p, a):
+                    continue
+                key = (name, p.line, a.line)
+                if key in seen_304:
+                    continue
+                seen_304.add(key)
+                add(
+                    "AN304",
+                    "error",
+                    p,
+                    f"array '{name}' receives both a plain scatter (line "
+                    f"{p.line}) and an atomic ({a.op.kind}, line {a.line}) "
+                    f"inside one barrier-free window; split the phases with "
+                    f"k.device_barrier()",
+                )
+        varied = [
+            p for p in plains if classify_scatter(p.op) not in ("uniform",)
+        ]
+        for i, p in enumerate(varied):
+            for q in varied[i + 1:]:
+                if p.line == q.line or not same_window(p, q):
+                    continue
+                key = (name, min(p.line, q.line), max(p.line, q.line))
+                if key in seen_305:
+                    continue
+                seen_305.add(key)
+                add(
+                    "AN305",
+                    "error",
+                    p,
+                    f"two plain-store sites hit array '{name}' inside one "
+                    f"barrier-free window (lines {p.line} and {q.line}); "
+                    f"insert k.device_barrier() between the phases or merge "
+                    f"the stores",
+                )
+
+    return sig, findings
+
+
+def analyze_corpus(
+    corpus: Corpus,
+    dist_names=DEFAULT_DIST_NAMES,
+) -> tuple[dict[str, EffectSignature], list[StaticFinding]]:
+    """Analyze every kernel; returns ``{key: signature}`` and findings.
+
+    Duplicate launch labels inside one file are disambiguated with a
+    ``#N`` suffix so no kernel is silently dropped from the manifest.
+    """
+    signatures: dict[str, EffectSignature] = {}
+    findings: list[StaticFinding] = []
+    for frag in corpus.kernels:
+        sig, f = check_kernel(frag, corpus, dist_names)
+        key = sig.key
+        n = 2
+        while key in signatures:
+            key = f"{sig.key}#{n}"
+            n += 1
+        sig.key = key
+        signatures[key] = sig
+        findings.extend(f)
+    findings.sort(key=lambda f: (f.path, f.line, f.code))
+    return signatures, findings

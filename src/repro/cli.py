@@ -11,6 +11,9 @@ Commands
 ``faults``    run one method under deterministic fault injection and the
               self-healing runtime, then print the fault report
 ``lint``      statically check kernel-authoring rules (repro-lint)
+``analyze``   static kernel effect inference: per-kernel effect
+              signatures, AN3xx race proofs, async-safety verdicts, and
+              the ``ANALYSIS_manifest.json`` drift gate
 ``bench``     continuous benchmarking: run suites, gate against baselines,
               diff trajectory files (``bench run | check | diff``)
 ``trace``     structured event tracing: record a run's kernel/bucket/ADWL
@@ -256,6 +259,8 @@ def _cmd_cache(args) -> int:
 
 def _cmd_sanitize(args) -> int:
     """Run one method under the dynamic hazard sanitizer."""
+    import json
+
     from .analysis import sanitized_sssp
 
     graph = parse_graph_spec(args.graph, seed=args.seed)
@@ -266,6 +271,29 @@ def _cmd_sanitize(args) -> int:
     )
     if not args.no_validate:
         validate_distances(graph, source, r.dist)
+    if args.format == "json":
+        shown = report.findings if args.warnings else report.errors
+        print(json.dumps({
+            "graph": graph.name,
+            "method": r.method,
+            "kernels_checked": report.kernels_checked,
+            "accesses_checked": report.accesses_checked,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "dropped": report.dropped,
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "severity": f.severity,
+                    "message": f.message,
+                    "kernel": f.kernel,
+                    "array": f.array,
+                    "count": f.count,
+                }
+                for f in shown
+            ],
+        }, indent=2))
+        return 1 if report.errors else 0
     print(f"graph   : {graph}")
     print(f"method  : {r.method}")
     print(f"checked : {report.kernels_checked} window(s), "
@@ -415,17 +443,104 @@ def _cmd_trace_export(args) -> int:
 
 def _cmd_lint(args) -> int:
     """Static kernel-authoring lint over python sources."""
+    import json
+
     from .analysis import lint_paths
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         raise SystemExit(f"no such file or directory: {', '.join(missing)}")
     findings = lint_paths(args.paths)
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [
+                {"path": f.path, "line": f.line, "rule": f.rule,
+                 "message": f.message}
+                for f in findings
+            ],
+            "count": len(findings),
+        }, indent=2))
+        return 1 if findings else 0
     for f in findings:
         print(f"{f.path}:{f.line}: {f.rule} {f.message}")
     n = len(findings)
     print(f"{n} finding(s)" if n else "clean ✓")
     return 1 if n else 0
+
+
+def _cmd_analyze(args) -> int:
+    """Static kernel effect inference + AN3xx race/async-safety audit."""
+    import json
+
+    from .analysis.static import (
+        analyze_paths,
+        build_manifest,
+        diff_manifest,
+        load_manifest,
+        signature_payload,
+        write_manifest,
+    )
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        raise SystemExit(f"no such file or directory: {', '.join(missing)}")
+    signatures, findings = analyze_paths(args.paths)
+    errors = [f for f in findings if f.severity == "error"]
+    warnings = [f for f in findings if f.severity != "error"]
+
+    drift: list[str] = []
+    if args.manifest:
+        computed = build_manifest(signatures)
+        if args.refresh:
+            write_manifest(args.manifest, computed)
+        else:
+            try:
+                committed = load_manifest(args.manifest)
+            except FileNotFoundError:
+                raise SystemExit(
+                    f"manifest {args.manifest} not found; generate it with "
+                    f"--refresh"
+                )
+            drift = diff_manifest(committed, computed)
+
+    if args.format == "json":
+        print(json.dumps({
+            "kernels": {
+                key: signature_payload(sig)
+                for key, sig in sorted(signatures.items())
+            },
+            "findings": [
+                {"path": f.path, "line": f.line, "code": f.code,
+                 "severity": f.severity, "message": f.message,
+                 "kernel": f.kernel}
+                for f in findings
+            ],
+            "errors": len(errors),
+            "warnings": len(warnings),
+            "manifest_drift": drift,
+        }, indent=2))
+        return 1 if errors or drift else 0
+
+    for f in findings:
+        print(f"{f.path}:{f.line}: {f.code} [{f.severity}] {f.message}")
+    verdicts: dict[str, int] = {}
+    for sig in signatures.values():
+        verdicts[sig.verdict] = verdicts.get(sig.verdict, 0) + 1
+    vs = ", ".join(f"{n} {v}" for v, n in sorted(verdicts.items()))
+    print(f"{len(signatures)} kernel(s) analyzed ({vs}); "
+          f"{len(errors)} error(s), {len(warnings)} warning(s)")
+    if args.manifest and args.refresh:
+        print(f"manifest refreshed: {args.manifest}")
+    for line in drift:
+        print(f"manifest drift: {line}")
+    if drift:
+        print(f"refresh with: python -m repro.cli analyze "
+              f"{' '.join(args.paths)} --manifest {args.manifest} --refresh")
+    elif args.manifest and not args.refresh:
+        print(f"manifest ✓ {args.manifest}")
+    if not findings and not drift:
+        print("clean ✓")
+    return 1 if errors or drift else 0
 
 
 def _cmd_selfcheck(_args) -> int:
@@ -613,6 +728,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="raise on the first hazard instead of collecting")
     sp.add_argument("--warnings", action="store_true",
                     help="also print benign (warning-level) findings")
+    sp.add_argument("--format", default="text", choices=["text", "json"],
+                    help="output format (json for CI artifacts)")
     sp.set_defaults(fn=_cmd_sanitize)
 
     sp = sub.add_parser(
@@ -633,7 +750,24 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sp.add_argument("paths", nargs="*", default=["src/repro"],
                     help="files or directories (default: src/repro)")
+    sp.add_argument("--format", default="text", choices=["text", "json"],
+                    help="output format (json for CI artifacts)")
     sp.set_defaults(fn=_cmd_lint)
+
+    sp = sub.add_parser(
+        "analyze",
+        help="static kernel effect inference + async-safety audit (AN3xx)",
+    )
+    sp.add_argument("paths", nargs="*", default=["src/repro"],
+                    help="files or directories (default: src/repro)")
+    sp.add_argument("--format", default="text", choices=["text", "json"],
+                    help="output format (json for CI artifacts)")
+    sp.add_argument("--manifest", default=None, metavar="PATH",
+                    help="gate inferred effect signatures against this "
+                         "committed manifest (ANALYSIS_manifest.json)")
+    sp.add_argument("--refresh", action="store_true",
+                    help="rewrite the --manifest file instead of gating")
+    sp.set_defaults(fn=_cmd_analyze)
 
     sp = sub.add_parser(
         "bench", help="continuous benchmarking (JSON perf trajectory)"

@@ -96,6 +96,57 @@ class TestKernelContextRules:
         )
         assert lint_source(src, "x.py") == []
 
+    def test_an103_while_loop_body(self):
+        # regression: while bodies are hot loops too
+        src = (
+            "__all__ = []\n"
+            "def f(arr, n):\n"
+            "    i = 0\n"
+            "    while i < n:\n"
+            "        x = float(arr.data[i])\n"
+            "        i += 1\n"
+        )
+        assert rules(lint_source(src, "x.py")) == ["AN103"]
+
+    def test_an103_int_and_bool_conversions(self):
+        src = (
+            "__all__ = []\n"
+            "def f(arr, flags, n):\n"
+            "    while n:\n"
+            "        i = int(arr.data[0])\n"
+            "        b = bool(flags.data[i])\n"
+        )
+        assert rules(lint_source(src, "x.py")) == ["AN103", "AN103"]
+
+    def test_an103_element_read_inside_expression(self):
+        src = (
+            "__all__ = []\n"
+            "def f(dist, u, w, n):\n"
+            "    while n:\n"
+            "        nd = float(dist.data[u] + w)\n"
+        )
+        assert rules(lint_source(src, "x.py")) == ["AN103"]
+
+    def test_an103_masked_reduction_is_exempt(self):
+        # one reduction transfer per iteration is the device-reduction
+        # idiom, not a per-element round-trip
+        src = (
+            "__all__ = []\n"
+            "def f(dist, mask, n):\n"
+            "    while n:\n"
+            "        lo = float(dist.data[mask].min())\n"
+        )
+        assert lint_source(src, "x.py") == []
+
+    def test_an103_item_in_while_loop(self):
+        src = (
+            "__all__ = []\n"
+            "def f(arr, n):\n"
+            "    while n:\n"
+            "        x = arr.data[0].item()\n"
+        )
+        assert rules(lint_source(src, "x.py")) == ["AN103"]
+
 
 class TestGeneralRules:
     def test_an201_mutable_default(self):

@@ -124,6 +124,28 @@ class TestCommands:
     def test_parser_builds(self):
         assert build_parser().prog == "repro"
 
+    def test_sanitize_json_format(self, capsys):
+        import json
+
+        assert main([
+            "sanitize", "kron:7,4", "--method", "rdbs", "--format", "json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "rdbs"
+        assert payload["kernels_checked"] > 0
+        assert payload["errors"] == 0
+        assert isinstance(payload["findings"], list)
+
+    def test_sanitize_json_includes_warnings_when_asked(self, capsys):
+        import json
+
+        assert main([
+            "sanitize", "kron:7,4", "--method", "rdbs", "--format", "json",
+            "--warnings",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert len(payload["findings"]) >= payload["errors"]
+
 
 class TestBench:
     @pytest.fixture()
