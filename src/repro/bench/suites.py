@@ -54,8 +54,15 @@ SUITES: dict[str, SuiteSpec] = {
 
 
 def suite_names() -> list[str]:
-    """The suites ``bench run --suite`` accepts."""
-    return sorted(SUITES)
+    """The suites ``bench run --suite`` accepts.
+
+    Covers both the (datasets × methods) matrices defined here and the
+    traffic sessions of the serving layer (:mod:`repro.serve.bench`),
+    which share the trajectory schema and the regression gate.
+    """
+    from ..serve.bench import serve_suite_names
+
+    return sorted(SUITES) + serve_suite_names()
 
 
 def _run_cell(suite: str, dataset: str, method: str) -> BenchRecord:
@@ -90,12 +97,15 @@ def run_suite(name: str, *, progress=None, jobs: int = 1) -> list[BenchRecord]:
     quantity (counters, simulated time) is identical — only host
     wall-clock fields can differ run to run.
     """
-    try:
-        spec = SUITES[name]
-    except KeyError:
+    if name not in SUITES:
+        from ..serve.bench import SERVE_SUITES, run_serve_suite
+
+        if name in SERVE_SUITES:
+            return run_serve_suite(name, progress=progress, jobs=jobs)
         raise ValueError(
             f"unknown suite {name!r}; choose from {', '.join(suite_names())}"
-        ) from None
+        )
+    spec = SUITES[name]
     from ..perf import profile
     from ..perf.parallel import resolve_jobs, run_tasks
 

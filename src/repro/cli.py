@@ -19,6 +19,9 @@ Commands
 ``trace``     structured event tracing: record a run's kernel/bucket/ADWL
               timeline, summarize or convert trace files
               (``trace run | summary | export``)
+``serve``     online SSSP query serving: play a deterministic traffic
+              session (or a gated serve suite) against the scheduler —
+              landmark oracle, distance-field LRU, sharded exact fallback
 ``cache``     inspect or clear the persistent artifact cache
               (``cache status | clear``)
 
@@ -650,6 +653,114 @@ def _cmd_bench_diff(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    """Online query serving: run traffic sessions and gate correctness.
+
+    Two modes share one exit-code contract (0 clean; 1 on any wrong
+    answer or escaped fault):
+
+    * ``--suite smoke|traffic`` plays every session of a serve bench
+      suite (:mod:`repro.serve.bench`) — what CI gates on every PR;
+    * a graph spec plays one ad-hoc session configured by the flags.
+    """
+    if args.suite is None and args.graph is None:
+        raise SystemExit("serve: provide a graph spec, or --suite NAME "
+                         "to play a serve bench suite")
+    if args.trace and args.jobs != 1:
+        raise SystemExit("serve --trace requires --jobs 1: worker "
+                         "processes cannot stream request spans back")
+    if args.trace:
+        from .trace import tracing
+
+        with tracing() as tr:
+            tr.meta.update(suite=args.suite or "custom", seed=args.seed)
+            code, records, suite_label = _serve_session(args)
+        _write_trace(tr, args.trace, None)
+    else:
+        code, records, suite_label = _serve_session(args)
+    if args.out:
+        from .bench import write_trajectory
+
+        write_trajectory(args.out, records, suite=suite_label)
+        print(f"wrote {len(records)} record(s) to {args.out}")
+    return code
+
+
+def _serve_session(args):
+    """Run the requested serve session(s); returns (exit_code, records)."""
+    from .serve.bench import (
+        SERVE_SUITES,
+        ServeCellSpec,
+        report_to_record,
+        run_serve_cell,
+    )
+
+    failures = 0
+    records = []
+    if args.suite is not None:
+        suite = f"serve-{args.suite}"
+        if suite not in SERVE_SUITES:
+            short = ", ".join(s.removeprefix("serve-") for s in SERVE_SUITES)
+            raise SystemExit(
+                f"unknown serve suite {args.suite!r}; choose from {short}"
+            )
+        cells = SERVE_SUITES[suite]
+        print(f"serve suite {suite!r} "
+              f"({len(cells)} session(s), seed offset {args.seed})")
+        if args.jobs != 1:
+            from .perf.parallel import resolve_jobs, run_tasks
+
+            jobs = resolve_jobs(args.jobs)
+            outcomes = run_tasks(
+                run_serve_cell,
+                [(suite, c.name, args.seed) for c in cells],
+                jobs,
+            )
+        else:
+            outcomes = [
+                run_serve_cell(suite, c.name, args.seed) for c in cells
+            ]
+        for cell, (report, rec) in zip(cells, outcomes):
+            print(f"\n[{cell.dataset}/{cell.name}]")
+            print(report.summary())
+            records.append(rec)
+            if not report.ok:
+                failures += 1
+        print(f"\n{len(cells) - failures}/{len(cells)} session(s) clean"
+              + (" ✓" if not failures else " — FAILED"))
+        return (1 if failures else 0), records, suite
+
+    from .serve import ServeConfig, serve_traffic
+
+    graph = parse_graph_spec(args.graph, seed=args.seed)
+    config = ServeConfig(
+        num_queries=args.queries,
+        seed=args.seed,
+        p2p_fraction=args.p2p_fraction,
+        tolerance=args.tolerance,
+        source_pool=args.pool,
+        cold_fraction=args.cold_fraction,
+        landmarks=args.landmarks,
+        shards=args.shards,
+        multi_gpu=args.multi_gpu,
+        rate_qpms=args.rate,
+        method=args.method,
+        plan=args.plan,
+    )
+    spec = (
+        parse_gpu_spec(args.gpu, args.workload_scale)
+        if args.method in GPU_METHODS else None
+    )
+    report = serve_traffic(
+        graph, config, spec=spec, validate=not args.no_validate
+    )
+    print(f"graph   : {graph}")
+    print(report.summary())
+    cell = ServeCellSpec(name="custom", dataset=graph.name, config=config)
+    records.append(report_to_record(cell, report))
+    return (0 if report.ok else 1), records, "serve-custom"
+
+
 def _cmd_datasets(_args) -> int:
     print(f"{'name':<10} {'n':>8} {'m':>9} {'avg_deg':>8} {'class'}")
     from .graphs.surrogates import DATASETS
@@ -849,6 +960,58 @@ def build_parser() -> argparse.ArgumentParser:
     tp.add_argument("--out", default=None,
                     help="output path (default: input with matching suffix)")
     tp.set_defaults(fn=_cmd_trace_export)
+
+    sp = sub.add_parser(
+        "serve", help="online SSSP query serving (repro.serve)"
+    )
+    sp.add_argument("graph", nargs="?", default=None,
+                    help="graph spec for one ad-hoc session "
+                         "(omit with --suite)")
+    sp.add_argument("--suite", default=None, metavar="NAME",
+                    help="play a serve bench suite (smoke | traffic) "
+                         "instead of one graph")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="session seed (suite mode: offset added to every "
+                         "cell's committed seed; 0 = the gated baseline)")
+    sp.add_argument("--queries", type=int, default=100,
+                    help="queries in the ad-hoc session (default 100)")
+    sp.add_argument("--p2p-fraction", type=float, default=0.7,
+                    help="fraction of point-to-point queries (default 0.7)")
+    sp.add_argument("--tolerance", type=float, default=0.15,
+                    help="relative tolerance an oracle answer must certify")
+    sp.add_argument("--pool", type=int, default=8,
+                    help="hot-source pool size (default 8)")
+    sp.add_argument("--cold-fraction", type=float, default=0.0,
+                    help="fraction of p2p queries from cold uniform sources")
+    sp.add_argument("--landmarks", type=int, default=4,
+                    help="ALT landmark count for the oracle (default 4)")
+    sp.add_argument("--shards", type=int, default=2,
+                    help="simulated GPU lanes for exact batches (default 2)")
+    sp.add_argument("--multi-gpu", type=int, default=1,
+                    help=">1 runs exact fallbacks on the multi-GPU engine")
+    sp.add_argument("--rate", type=float, default=25.0,
+                    help="mean arrivals per simulated ms (default 25)")
+    sp.add_argument("--method", default="rdbs", choices=method_names(),
+                    help="exact engine for warmup and fallbacks")
+    sp.add_argument("--plan", default=None, choices=plan_names(),
+                    help="inject this fault plan into every exact run "
+                         "(self-healing runtime on)")
+    sp.add_argument("--gpu", default="v100", help="v100 | t4 | a100")
+    sp.add_argument("--workload-scale", type=float, default=1 / 64,
+                    help="scaled-simulation factor (default 1/64)")
+    sp.add_argument("--jobs", type=int, default=1,
+                    help="worker processes for suite sessions (0 = all "
+                         "cores)")
+    sp.add_argument("--out", default=None, metavar="PATH",
+                    help="also write the session records as a trajectory "
+                         "JSON (BENCH_serve.json schema)")
+    sp.add_argument("--trace", default=None, metavar="PATH",
+                    help="also record request spans as a structured trace "
+                         "(requires --jobs 1)")
+    sp.add_argument("--no-validate", action="store_true",
+                    help="skip the SciPy correctness checks (ad-hoc "
+                         "sessions only; suites always validate)")
+    sp.set_defaults(fn=_cmd_serve)
 
     sp = sub.add_parser(
         "cache", help="inspect or clear the persistent artifact cache"

@@ -1,0 +1,33 @@
+"""repro.serve — an online SSSP query-serving layer.
+
+The paper frames SSSP as the inner loop of latency-sensitive services
+(road layout management, network routing); this package closes that loop.
+It admits a deterministic seeded stream of point-to-point and
+single-source queries against a preprocessed graph and answers each one
+by the cheapest correct layer: request coalescing onto in-flight work, a
+byte-capped LRU of hot distance fields, tolerance-certified landmark
+(ALT) bounds, and finally exact RDBS runs batched over simulated GPU
+shards.  Sessions are pure functions of ``(graph, ServeConfig)``, so the
+traffic suites in :mod:`repro.serve.bench` gate byte-identically in CI.
+
+See ``docs/serving.md`` for the tour; the CLI surface is
+``python -m repro.cli serve``.
+"""
+
+from .cache import DistanceFieldLRU
+from .oracle import WarmOracle, certified_answer, warm_oracle
+from .scheduler import ServeReport, serve_traffic
+from .workload import NO_TARGET, Query, ServeConfig, generate_queries
+
+__all__ = [
+    "NO_TARGET",
+    "Query",
+    "ServeConfig",
+    "generate_queries",
+    "DistanceFieldLRU",
+    "WarmOracle",
+    "warm_oracle",
+    "certified_answer",
+    "ServeReport",
+    "serve_traffic",
+]

@@ -1,0 +1,92 @@
+"""In-memory LRU cache of hot distance fields.
+
+The serving layer's *persistent* artifacts (landmark oracle bundles,
+SciPy reference fields) live in :mod:`repro.perf.artifacts`; this module
+is the complementary *session* cache: the full distance fields produced
+by exact fallback runs, keyed by source vertex, bounded by bytes, evicted
+least-recently-used.  A repeat query for a hot source is then answered
+with one array lookup instead of a fresh GPU run.
+
+Determinism contract: given the same access sequence the cache makes the
+same decisions — recency is advanced only by :meth:`get` / :meth:`put`
+(never by wall clock), and eviction is a pure function of the insertion
+and access order plus the byte cap.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["DistanceFieldLRU"]
+
+
+class DistanceFieldLRU:
+    """Byte-capped LRU map ``source vertex -> distance field``."""
+
+    def __init__(self, max_bytes: int) -> None:
+        if max_bytes < 0:
+            raise ValueError("max_bytes must be >= 0")
+        self.max_bytes = int(max_bytes)
+        self._entries: OrderedDict[int, np.ndarray] = OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: fields larger than the whole cap are never admitted
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, source: int) -> bool:
+        return int(source) in self._entries
+
+    def get(self, source: int) -> np.ndarray | None:
+        """The cached field (refreshing its recency), or ``None``."""
+        key = int(source)
+        field = self._entries.get(key)
+        if field is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return field
+
+    def peek(self, source: int) -> np.ndarray | None:
+        """Like :meth:`get` but without touching recency or counters."""
+        return self._entries.get(int(source))
+
+    def put(self, source: int, field: np.ndarray) -> None:
+        """Insert (or refresh) a field, evicting LRU entries past the cap."""
+        key = int(source)
+        size = int(field.nbytes)
+        if size > self.max_bytes:
+            self.rejected += 1
+            return
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self.bytes -= int(old.nbytes)
+        self._entries[key] = field
+        self.bytes += size
+        while self.bytes > self.max_bytes and self._entries:
+            _, evicted = self._entries.popitem(last=False)
+            self.bytes -= int(evicted.nbytes)
+            self.evictions += 1
+
+    def sources(self) -> list[int]:
+        """Cached sources, least-recently-used first."""
+        return list(self._entries)
+
+    def stats(self) -> dict[str, int]:
+        """Plain-data counter snapshot (deterministic, exact-comparable)."""
+        return {
+            "entries": len(self._entries),
+            "bytes": self.bytes,
+            "max_bytes": self.max_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "rejected": self.rejected,
+        }

@@ -36,6 +36,7 @@ def select_landmarks(
     *,
     method: str = "rdbs",
     seed: int = 0,
+    results: list | None = None,
     **kwargs,
 ) -> tuple[np.ndarray, np.ndarray]:
     """Farthest-point landmark selection.
@@ -45,6 +46,10 @@ def select_landmarks(
     by the oracle).  The first landmark is a random vertex of the largest
     component; each next one is the reachable vertex farthest from all
     chosen landmarks.
+
+    Pass a list as ``results`` to also collect the per-landmark
+    :class:`~repro.sssp.result.SSSPResult` objects — the serving layer
+    accounts the oracle's preprocessing cost from their simulated times.
     """
     if k < 1:
         raise ValueError("need at least one landmark")
@@ -54,8 +59,14 @@ def select_landmarks(
     rng = np.random.default_rng(seed)
     first = int(rng.choice(comp))
 
+    def run(vertex: int) -> np.ndarray:
+        r = sssp(graph, vertex, method=method, **kwargs)
+        if results is not None:
+            results.append(r)
+        return r.dist
+
     landmarks: list[int] = [first]
-    vectors: list[np.ndarray] = [sssp(graph, first, method=method, **kwargs).dist]
+    vectors: list[np.ndarray] = [run(first)]
     min_dist = vectors[0].copy()  # distance to the nearest landmark
 
     while len(landmarks) < min(k, comp.size):
@@ -64,7 +75,7 @@ def select_landmarks(
         if candidates[nxt] <= 0:
             break  # every reachable vertex is itself a landmark already
         landmarks.append(nxt)
-        vec = sssp(graph, nxt, method=method, **kwargs).dist
+        vec = run(nxt)
         vectors.append(vec)
         min_dist = np.minimum(min_dist, vec)
 

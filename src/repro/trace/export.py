@@ -36,6 +36,8 @@ _TID_BUCKETS = 1
 _TID_EVENTS = 2
 
 _HOST_PID = 1000
+#: host-process track carrying serve-request spans (simulated clock)
+_TID_SERVE = 1
 
 
 def _events_of(trace) -> list[TraceEvent]:
@@ -55,6 +57,7 @@ def to_chrome(trace) -> dict:
     events = _events_of(trace)
     out: list[dict] = []
     seen_pids: set[int] = set()
+    serve_track_named = False
 
     def thread_meta(pid: int, tid: int, name: str) -> dict:
         return {"name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
@@ -84,6 +87,14 @@ def to_chrome(trace) -> dict:
         elif e.kind == "bucket":
             out.append({"name": e.name, "cat": "bucket", "ph": "X",
                         "pid": pid, "tid": _TID_BUCKETS, "ts": ts,
+                        "dur": e.dur_ms * 1e3, "args": e.args})
+        elif e.kind == "serve":
+            # one span per served request on the simulated arrival clock
+            if not serve_track_named:
+                serve_track_named = True
+                out.append(thread_meta(pid, _TID_SERVE, "serve requests"))
+            out.append({"name": e.name, "cat": "serve", "ph": "X",
+                        "pid": pid, "tid": _TID_SERVE, "ts": ts,
                         "dur": e.dur_ms * 1e3, "args": e.args})
         elif e.kind == "host":
             out.append({"name": e.name, "cat": "host", "ph": "X",
@@ -257,6 +268,21 @@ def format_summary(trace, meta: dict | None = None) -> str:
                          f"  array={e.args.get('array', '?')}")
         if len(faults) > 8:
             lines.append(f"  ... and {len(faults) - 8} more")
+
+    serve = [e for e in events if e.kind == "serve"]
+    if serve:
+        by_outcome = Counter(e.name for e in serve)
+        lat = sorted(e.dur_ms for e in serve)
+
+        def pct(q: float) -> float:
+            return lat[min(len(lat) - 1, int(q * (len(lat) - 1) + 0.5))]
+
+        lines.append(f"\nserve requests ({len(serve)}):")
+        lines.append("  by outcome: " + ", ".join(
+            f"{k}={n}" for k, n in sorted(by_outcome.items())))
+        lines.append(f"  latency: p50 {pct(0.50):.4f} ms, "
+                     f"p99 {pct(0.99):.4f} ms, max {lat[-1]:.4f} ms "
+                     "(simulated)")
 
     host = [e for e in events if e.kind == "host"]
     if host:
