@@ -57,8 +57,9 @@ def suite_names() -> list[str]:
     """The suites ``bench run --suite`` accepts.
 
     Covers both the (datasets × methods) matrices defined here and the
-    traffic sessions of the serving layer (:mod:`repro.serve.bench`),
-    which share the trajectory schema and the regression gate.
+    traffic sessions of the serving layer (:mod:`repro.serve.bench`,
+    including the chaos-plan suite ``serve-chaos``), which share the
+    trajectory schema and the regression gate.
     """
     from ..serve.bench import serve_suite_names
 

@@ -58,6 +58,7 @@ from .graphs import (
     read_edge_list,
 )
 from .faults import GPU_METHODS, plan_names
+from .serve.chaos import chaos_plan_names
 from .gpusim import A100, T4, V100
 from .sssp import DistanceMismatch, method_names, sssp, validate_distances
 
@@ -682,12 +683,16 @@ def _cmd_serve(args) -> int:
         from .bench import write_trajectory
 
         write_trajectory(args.out, records, suite=suite_label)
-        print(f"wrote {len(records)} record(s) to {args.out}")
+        # keep stdout pure JSON under --format json
+        dest = sys.stderr if args.format == "json" else sys.stdout
+        print(f"wrote {len(records)} record(s) to {args.out}", file=dest)
     return code
 
 
 def _serve_session(args):
     """Run the requested serve session(s); returns (exit_code, records)."""
+    import json
+
     from .serve.bench import (
         SERVE_SUITES,
         ServeCellSpec,
@@ -695,6 +700,7 @@ def _serve_session(args):
         run_serve_cell,
     )
 
+    fmt = args.format
     failures = 0
     records = []
     if args.suite is not None:
@@ -705,8 +711,9 @@ def _serve_session(args):
                 f"unknown serve suite {args.suite!r}; choose from {short}"
             )
         cells = SERVE_SUITES[suite]
-        print(f"serve suite {suite!r} "
-              f"({len(cells)} session(s), seed offset {args.seed})")
+        if fmt == "text":
+            print(f"serve suite {suite!r} "
+                  f"({len(cells)} session(s), seed offset {args.seed})")
         if args.jobs != 1:
             from .perf.parallel import resolve_jobs, run_tasks
 
@@ -720,14 +727,32 @@ def _serve_session(args):
             outcomes = [
                 run_serve_cell(suite, c.name, args.seed) for c in cells
             ]
+        sessions = []
         for cell, (report, rec) in zip(cells, outcomes):
-            print(f"\n[{cell.dataset}/{cell.name}]")
-            print(report.summary())
+            if fmt == "text":
+                print(f"\n[{cell.dataset}/{cell.name}]")
+                print(report.summary())
+            sessions.append({
+                "cell": cell.name,
+                "dataset": cell.dataset,
+                "ok": report.ok,
+                "counters": report.counter_dict(),
+            })
             records.append(rec)
             if not report.ok:
                 failures += 1
-        print(f"\n{len(cells) - failures}/{len(cells)} session(s) clean"
-              + (" ✓" if not failures else " — FAILED"))
+        if fmt == "json":
+            print(json.dumps({
+                "suite": suite,
+                "seed_offset": args.seed,
+                "sessions": len(cells),
+                "failures": failures,
+                "ok": not failures,
+                "reports": sessions,
+            }, indent=2))
+        else:
+            print(f"\n{len(cells) - failures}/{len(cells)} session(s) clean"
+                  + (" ✓" if not failures else " — FAILED"))
         return (1 if failures else 0), records, suite
 
     from .serve import ServeConfig, serve_traffic
@@ -746,6 +771,8 @@ def _serve_session(args):
         rate_qpms=args.rate,
         method=args.method,
         plan=args.plan,
+        chaos=args.chaos_plan,
+        deadline_ms=args.deadline_ms,
     )
     spec = (
         parse_gpu_spec(args.gpu, args.workload_scale)
@@ -754,8 +781,16 @@ def _serve_session(args):
     report = serve_traffic(
         graph, config, spec=spec, validate=not args.no_validate
     )
-    print(f"graph   : {graph}")
-    print(report.summary())
+    if fmt == "json":
+        print(json.dumps({
+            "graph": graph.name,
+            "seed": args.seed,
+            "ok": report.ok,
+            "counters": report.counter_dict(),
+        }, indent=2))
+    else:
+        print(f"graph   : {graph}")
+        print(report.summary())
     cell = ServeCellSpec(name="custom", dataset=graph.name, config=config)
     records.append(report_to_record(cell, report))
     return (0 if report.ok else 1), records, "serve-custom"
@@ -968,8 +1003,8 @@ def build_parser() -> argparse.ArgumentParser:
                     help="graph spec for one ad-hoc session "
                          "(omit with --suite)")
     sp.add_argument("--suite", default=None, metavar="NAME",
-                    help="play a serve bench suite (smoke | traffic) "
-                         "instead of one graph")
+                    help="play a serve bench suite (smoke | chaos | "
+                         "traffic) instead of one graph")
     sp.add_argument("--seed", type=int, default=0,
                     help="session seed (suite mode: offset added to every "
                          "cell's committed seed; 0 = the gated baseline)")
@@ -996,6 +1031,18 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--plan", default=None, choices=plan_names(),
                     help="inject this fault plan into every exact run "
                          "(self-healing runtime on)")
+    sp.add_argument("--chaos-plan", default=None,
+                    choices=chaos_plan_names(),
+                    help="attack the serving tier itself with this chaos "
+                         "plan (shard blackouts/slowdowns, cache "
+                         "corruption, oracle outages; repro.serve.chaos)")
+    sp.add_argument("--deadline-ms", type=float, default=0.0,
+                    help="per-request deadline in simulated ms; late "
+                         "requests walk the degradation ladder "
+                         "(0 = no deadline)")
+    sp.add_argument("--format", default="text", choices=["text", "json"],
+                    help="output format (json emits the session counter "
+                         "dict for CI artifacts)")
     sp.add_argument("--gpu", default="v100", help="v100 | t4 | a100")
     sp.add_argument("--workload-scale", type=float, default=1 / 64,
                     help="scaled-simulation factor (default 1/64)")

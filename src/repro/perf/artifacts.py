@@ -34,6 +34,7 @@ import json
 import os
 import tempfile
 import zipfile
+import zlib
 from collections.abc import Callable
 from pathlib import Path
 
@@ -110,7 +111,7 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
-        self.rejected = 0  # failed digest verification -> rebuilt
+        self.rejected = 0  # unreadable or failed verification -> quarantined
 
     # -- keying ---------------------------------------------------------
 
@@ -135,9 +136,20 @@ class ArtifactCache:
             with np.load(path) as data:
                 arrays = {k: data[k] for k in data.files if k != _DIGEST_KEY}
                 stored = str(data[_DIGEST_KEY]) if _DIGEST_KEY in data.files else ""
-        except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
-            # BadZipFile subclasses Exception directly, so a truncated or
-            # bit-flipped entry needs its own clause to count as a miss
+        except FileNotFoundError:
+            return None  # plain miss
+        except (OSError, ValueError, KeyError, EOFError,
+                zipfile.BadZipFile, zlib.error):
+            # A truncated or partially-written entry (interrupted store,
+            # torn page, bit rot) can surface as any of these — including
+            # zlib.error, which is neither an OSError nor a BadZipFile.
+            # Quarantine the junk file so the recompute can overwrite it
+            # cleanly instead of every process tripping on it again.
+            self.rejected += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
             return None
         if stored != digest_arrays(arrays):
             # corrupted or hand-edited entry: drop it and rebuild

@@ -10,11 +10,18 @@ byte-capped LRU of hot distance fields, tolerance-certified landmark
 shards.  Sessions are pure functions of ``(graph, ServeConfig)``, so the
 traffic suites in :mod:`repro.serve.bench` gate byte-identically in CI.
 
-See ``docs/serving.md`` for the tour; the CLI surface is
-``python -m repro.cli serve``.
+The tier is chaos-tested (:mod:`repro.serve.chaos`): scripted shard
+blackouts/slowdowns, cache corruption and oracle outages on the same
+simulated clock, absorbed by per-request deadlines with hedged retry,
+per-shard circuit breakers and a graceful-degradation ladder that never
+produces a wrong answer.
+
+See ``docs/serving.md`` and ``docs/chaos.md`` for the tour; the CLI
+surface is ``python -m repro.cli serve``.
 """
 
 from .cache import DistanceFieldLRU
+from .chaos import CHAOS_PLANS, ChaosPlan, chaos_plan_names, get_chaos_plan
 from .oracle import WarmOracle, certified_answer, warm_oracle
 from .scheduler import ServeReport, serve_traffic
 from .workload import NO_TARGET, Query, ServeConfig, generate_queries
@@ -25,6 +32,10 @@ __all__ = [
     "ServeConfig",
     "generate_queries",
     "DistanceFieldLRU",
+    "ChaosPlan",
+    "CHAOS_PLANS",
+    "chaos_plan_names",
+    "get_chaos_plan",
     "WarmOracle",
     "warm_oracle",
     "certified_answer",

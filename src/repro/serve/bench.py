@@ -12,12 +12,19 @@ map.  ``host_seconds`` is pinned to ``0.0``: a serve trajectory is a pure
 function of the suite spec, so the committed ``BENCH_serve.json``
 baseline gates byte-identically in CI.
 
-Two suites:
+Three suites:
 
 * ``serve-smoke`` — four small sessions covering every scheduler path
   (mixed p2p/single-source, road-network p2p, a fault-plan session on the
   self-healing runtime, a multi-GPU-sharded session).  Runs on every pull
   request.
+* ``serve-chaos`` — six sessions under serving-tier chaos plans
+  (:mod:`repro.serve.chaos`): shard blackout with hedged retry and a
+  breaker recovery, a slow shard, cache corruption caught by checksums,
+  an oracle decertification window, a deadline/degradation-ladder
+  session, and a combined ``mayhem`` session.  Gated byte-identically
+  against ``BENCH_serve-chaos.json`` in CI; every cell must end with
+  zero wrong answers and zero escaped faults.
 * ``serve-traffic`` — a heavier sustained-load matrix for tail-latency
   work; not wired into CI.
 """
@@ -89,6 +96,78 @@ _SMOKE_CELLS = (
     ),
 )
 
+_CHAOS_CELLS = (
+    # shard 0 blacked out on [0.2, 1.6) ms: in-flight batches fail at the
+    # overlap, hedge onto healthy shards, the breaker opens and — once the
+    # blackout passes — recovers through a successful half-open probe
+    ServeCellSpec(
+        name="blackout-hedge",
+        dataset="Amazon",
+        config=ServeConfig(
+            num_queries=160, seed=606, p2p_fraction=0.6, tolerance=0.2,
+            source_pool=12, landmarks=2, shards=3, cold_fraction=0.4,
+            chaos="blackout",
+        ),
+    ),
+    # shard 1 serves at 6x time inside the window: no failures, but load
+    # visibly shifts and tail latency stretches (slowdown-aware dispatch)
+    ServeCellSpec(
+        name="slow-shard",
+        dataset="Amazon",
+        config=ServeConfig(
+            num_queries=160, seed=707, p2p_fraction=0.6, tolerance=0.2,
+            source_pool=12, landmarks=2, shards=2, cold_fraction=0.3,
+            chaos="slow-shard",
+        ),
+    ),
+    # scripted bit-flips on resident LRU fields: the per-entry checksums
+    # quarantine the damage on the next read instead of serving poison
+    ServeCellSpec(
+        name="cache-corruption",
+        dataset="Amazon",
+        config=ServeConfig(
+            num_queries=120, seed=808, p2p_fraction=0.8, tolerance=0.2,
+            source_pool=6, landmarks=4, shards=2, chaos="cache-corruption",
+        ),
+    ),
+    # the landmark oracle is decertified on [0.5, 2.5) ms: certified p2p
+    # traffic is refused and falls through to the exact tier instead
+    ServeCellSpec(
+        name="oracle-outage",
+        dataset="road-TX",
+        config=ServeConfig(
+            num_queries=60, seed=909, p2p_fraction=0.9, tolerance=0.3,
+            source_pool=4, landmarks=8, shards=2, cold_fraction=0.4,
+            chaos="oracle-outage",
+        ),
+    ),
+    # blackout + tight per-request deadlines on ALT's home turf: requests
+    # that cannot make the deadline walk the degradation ladder — many are
+    # served degraded-but-certified at the relaxed tolerance, the rest
+    # shed explicitly (counted in serve.shed / serve.slo_violations)
+    ServeCellSpec(
+        name="deadline-ladder",
+        dataset="road-TX",
+        config=ServeConfig(
+            num_queries=80, seed=1010, p2p_fraction=0.9, tolerance=0.05,
+            source_pool=4, landmarks=8, shards=2, cold_fraction=0.5,
+            rate_qpms=15.0, chaos="blackout", deadline_ms=0.1,
+            relaxed_tolerance=0.5,
+        ),
+    ),
+    # everything at once: blackout, slowdown, corruption, oracle outage
+    # and deadlines in one session — the whole resilience stack engaged
+    ServeCellSpec(
+        name="mayhem",
+        dataset="Amazon",
+        config=ServeConfig(
+            num_queries=160, seed=1111, p2p_fraction=0.7, tolerance=0.1,
+            source_pool=12, landmarks=4, shards=2, cold_fraction=0.3,
+            chaos="mayhem", deadline_ms=0.08, relaxed_tolerance=0.6,
+        ),
+    ),
+)
+
 _TRAFFIC_CELLS = (
     ServeCellSpec(
         name="amazon-sustained",
@@ -119,6 +198,7 @@ _TRAFFIC_CELLS = (
 
 SERVE_SUITES: dict[str, tuple[ServeCellSpec, ...]] = {
     "serve-smoke": _SMOKE_CELLS,
+    "serve-chaos": _CHAOS_CELLS,
     "serve-traffic": _TRAFFIC_CELLS,
 }
 

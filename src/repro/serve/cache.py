@@ -11,37 +11,79 @@ Determinism contract: given the same access sequence the cache makes the
 same decisions — recency is advanced only by :meth:`get` / :meth:`put`
 (never by wall clock), and eviction is a pure function of the insertion
 and access order plus the byte cap.
+
+With ``checksums=True`` (the chaos-engineering mode,
+:mod:`repro.serve.chaos`) every entry carries a blake2b digest of its
+bytes, verified on each :meth:`get` / :meth:`peek`.  A mismatch —
+scripted via :meth:`corrupt`, or any other in-memory bit damage —
+quarantines the entry (it is dropped, counted in ``corrupted``, and the
+read reports a miss) so a poisoned field can never be served.  Checksums
+are off by default: the chaos-off serving path must stay byte-identical
+to the pre-chaos scheduler, including every cache counter.
 """
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
+from collections.abc import Callable
 
 import numpy as np
 
 __all__ = ["DistanceFieldLRU"]
 
 
+def _digest(field: np.ndarray) -> bytes:
+    return hashlib.blake2b(
+        np.ascontiguousarray(field).tobytes(), digest_size=16
+    ).digest()
+
+
 class DistanceFieldLRU:
     """Byte-capped LRU map ``source vertex -> distance field``."""
 
-    def __init__(self, max_bytes: int) -> None:
+    def __init__(
+        self,
+        max_bytes: int,
+        *,
+        checksums: bool = False,
+        on_corruption: Callable[[int], None] | None = None,
+    ) -> None:
         if max_bytes < 0:
             raise ValueError("max_bytes must be >= 0")
         self.max_bytes = int(max_bytes)
+        self.checksums = bool(checksums)
+        self.on_corruption = on_corruption
         self._entries: OrderedDict[int, np.ndarray] = OrderedDict()
+        self._digests: dict[int, bytes] = {}
         self.bytes = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         #: fields larger than the whole cap are never admitted
         self.rejected = 0
+        #: entries quarantined because their checksum no longer matched
+        self.corrupted = 0
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, source: int) -> bool:
         return int(source) in self._entries
+
+    def _verify(self, key: int, field: np.ndarray) -> bool:
+        """True if the entry is intact; quarantines and reports otherwise."""
+        if not self.checksums:
+            return True
+        if _digest(field) == self._digests[key]:
+            return True
+        self._entries.pop(key)
+        self._digests.pop(key)
+        self.bytes -= int(field.nbytes)
+        self.corrupted += 1
+        if self.on_corruption is not None:
+            self.on_corruption(key)
+        return False
 
     def get(self, source: int) -> np.ndarray | None:
         """The cached field (refreshing its recency), or ``None``."""
@@ -50,13 +92,20 @@ class DistanceFieldLRU:
         if field is None:
             self.misses += 1
             return None
+        if not self._verify(key, field):
+            self.misses += 1
+            return None
         self._entries.move_to_end(key)
         self.hits += 1
         return field
 
     def peek(self, source: int) -> np.ndarray | None:
         """Like :meth:`get` but without touching recency or counters."""
-        return self._entries.get(int(source))
+        key = int(source)
+        field = self._entries.get(key)
+        if field is not None and not self._verify(key, field):
+            return None
+        return field
 
     def put(self, source: int, field: np.ndarray) -> None:
         """Insert (or refresh) a field, evicting LRU entries past the cap."""
@@ -69,11 +118,35 @@ class DistanceFieldLRU:
         if old is not None:
             self.bytes -= int(old.nbytes)
         self._entries[key] = field
+        if self.checksums:
+            self._digests[key] = _digest(field)
         self.bytes += size
         while self.bytes > self.max_bytes and self._entries:
-            _, evicted = self._entries.popitem(last=False)
+            evicted_key, evicted = self._entries.popitem(last=False)
+            self._digests.pop(evicted_key, None)
             self.bytes -= int(evicted.nbytes)
             self.evictions += 1
+
+    def corrupt(self, source: int) -> bool:
+        """Bit-flip one value of a resident entry (chaos injection).
+
+        The entry is replaced by a damaged *copy* — resident fields may
+        alias arrays owned by the oracle (landmark rows), which must stay
+        pristine.  Returns ``False`` when the source is not resident.
+        The stored digest is deliberately **not** refreshed: the next
+        read detects the damage and quarantines the entry.
+        """
+        key = int(source)
+        field = self._entries.get(key)
+        if field is None:
+            return False
+        damaged = field.copy()
+        flat = damaged.reshape(-1)
+        # deterministic victim index and a finite, plausible-looking value
+        idx = key % flat.size
+        flat[idx] = flat[idx] + 1.5 if np.isfinite(flat[idx]) else 1.0
+        self._entries[key] = damaged
+        return True
 
     def sources(self) -> list[int]:
         """Cached sources, least-recently-used first."""
@@ -81,7 +154,7 @@ class DistanceFieldLRU:
 
     def stats(self) -> dict[str, int]:
         """Plain-data counter snapshot (deterministic, exact-comparable)."""
-        return {
+        stats = {
             "entries": len(self._entries),
             "bytes": self.bytes,
             "max_bytes": self.max_bytes,
@@ -90,3 +163,6 @@ class DistanceFieldLRU:
             "evictions": self.evictions,
             "rejected": self.rejected,
         }
+        if self.checksums:
+            stats["corrupted"] = self.corrupted
+        return stats

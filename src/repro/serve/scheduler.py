@@ -24,6 +24,16 @@ on the bulk-synchronous multi-GPU engine (:mod:`repro.gpusim.multi`); with
 self-healing runtime on (:mod:`repro.faults`), and the report counts any
 escaped fault.
 
+With ``chaos`` set (a :mod:`repro.serve.chaos` plan name) the *serving
+tier itself* is attacked on the same simulated clock — shard blackouts
+and slowdowns, cache corruption, oracle decertification — and survived
+through hedged retry, per-shard circuit breakers and checksum
+quarantine; with ``deadline_ms > 0`` every request walks a
+graceful-degradation ladder (exact → relaxed-tolerance certified oracle
+→ explicit shed) instead of missing its deadline silently.  Both knobs
+default off, and the off path is byte-identical to a scheduler without
+the chaos layer at all.
+
 Everything observable — latencies, hit/fallback counters, aggregated
 device counters, LRU statistics — is a pure function of
 ``(graph, ServeConfig)``, which is what lets ``BENCH_serve.json`` gate
@@ -97,6 +107,18 @@ class ServeReport:
     faults_injected: int = 0
     faults_corrected: int = 0
     faults_escaped: int = 0
+    #: serving-tier chaos tallies (chaos plan / deadline sessions only)
+    hedges: int = 0
+    shard_failures: int = 0
+    breaker_opens: int = 0
+    breaker_half_opens: int = 0
+    breaker_closes: int = 0
+    corruptions_injected: int = 0
+    oracle_refusals: int = 0
+    #: degradation-ladder tallies (deadline sessions only)
+    degraded: int = 0
+    shed: int = 0
+    slo_violations: int = 0
     #: multi-GPU engine tallies summed over exact runs (multi_gpu > 1)
     mg_supersteps: int = 0
     mg_exchanged_messages: int = 0
@@ -173,6 +195,24 @@ class ServeReport:
             counters["serve.mg_exchanged_messages"] = float(
                 self.mg_exchanged_messages
             )
+        if self.config.chaos is not None or self.config.deadline_ms > 0:
+            counters["serve.hedges"] = float(self.hedges)
+            counters["serve.shard_failures"] = float(self.shard_failures)
+            counters["serve.breaker_opens"] = float(self.breaker_opens)
+            counters["serve.breaker_half_opens"] = float(
+                self.breaker_half_opens
+            )
+            counters["serve.breaker_closes"] = float(self.breaker_closes)
+            counters["serve.corruptions_injected"] = float(
+                self.corruptions_injected
+            )
+            counters["serve.corruptions_detected"] = float(
+                self.cache_stats.get("corrupted", 0)
+            )
+            counters["serve.oracle_refusals"] = float(self.oracle_refusals)
+            counters["serve.degraded"] = float(self.degraded)
+            counters["serve.shed"] = float(self.shed)
+            counters["serve.slo_violations"] = float(self.slo_violations)
         counters.update(self.device_counters)
         return counters
 
@@ -202,6 +242,23 @@ class ServeReport:
                 f"{self.faults_corrected} corrected, "
                 f"{self.faults_escaped} escaped"
             )
+        if c.chaos is not None or c.deadline_ms > 0:
+            lines.append(
+                f"chaos   : plan {c.chaos or 'none'}"
+                + (f", deadline {c.deadline_ms:g} ms" if c.deadline_ms > 0
+                   else "")
+                + f" — {self.hedges} hedge(s), breaker "
+                f"{self.breaker_opens}/{self.breaker_half_opens}/"
+                f"{self.breaker_closes} open/probe/close, "
+                f"{self.corruptions_injected} corruption(s) injected "
+                f"({self.cache_stats.get('corrupted', 0)} detected), "
+                f"{self.oracle_refusals} oracle refusal(s)"
+            )
+        if c.deadline_ms > 0:
+            lines.append(
+                f"ladder  : {self.degraded} degraded, {self.shed} shed, "
+                f"{self.slo_violations} SLO violation(s)"
+            )
         lines.append(
             f"verdict : {self.wrong} wrong answer(s) — "
             + ("ok ✓" if self.ok else "FAILED")
@@ -217,12 +274,30 @@ class _Session:
             raise ValueError("shards must be >= 1")
         if config.max_batch_sources < 1:
             raise ValueError("max_batch_sources must be >= 1")
+        if config.deadline_ms < 0:
+            raise ValueError("deadline_ms must be >= 0")
         self.graph = graph
         self.config = config
         self.spec = spec
         self.validate = validate
         self.report = ServeReport(graph_name=graph.name, config=config)
-        self.lru = DistanceFieldLRU(config.cache_bytes)
+        self.chaos = None
+        if config.chaos is not None:
+            from .chaos import ChaosEngine, get_chaos_plan
+
+            self.chaos = ChaosEngine(
+                get_chaos_plan(config.chaos), config.shards, self.report
+            )
+        # checksums only under chaos: the chaos-off cache (counters
+        # included) must stay byte-identical to the pre-chaos scheduler
+        self.lru = DistanceFieldLRU(
+            config.cache_bytes,
+            checksums=self.chaos is not None,
+            on_corruption=self._on_cache_corruption,
+        )
+        self.deadline_active = config.deadline_ms > 0
+        self.oracle = None
+        self._now = 0.0
         self.busy_until = [0.0] * config.shards
         self.pending: list[Query] = []
         self.pending_deadline = float("inf")
@@ -249,6 +324,12 @@ class _Session:
         args.update(extra)
         tracer.emit("serve", outcome, q.t_ms, latency, device=-1, args=args)
 
+    def _on_cache_corruption(self, source: int) -> None:
+        """Checksum mismatch callback: trace the quarantine instant."""
+        from .chaos import emit_chaos
+
+        emit_chaos("corruption_detected", self._now, source=int(source))
+
     # -- answering -----------------------------------------------------
     def _complete(self, q: Query, outcome: str, latency: float,
                   answer: float, **extra) -> None:
@@ -258,9 +339,12 @@ class _Session:
         self._trace(outcome, q, latency, **extra)
         if self.validate and q.is_p2p and not np.isnan(answer):
             exact = float(scipy_distances(self.graph, q.source)[q.target])
-            tol = (
-                self.config.tolerance if outcome == "oracle" else _EXACT_RTOL
-            )
+            if outcome == "oracle":
+                tol = self.config.tolerance
+            elif outcome == "degraded":
+                tol = self.config.relaxed_tolerance
+            else:
+                tol = _EXACT_RTOL
             if not np.isclose(answer, exact, rtol=tol, atol=_EXACT_ATOL):
                 r.wrong += 1
 
@@ -312,24 +396,72 @@ class _Session:
                 )
         return result.dist, result.time_ms
 
+    # -- graceful degradation ------------------------------------------
+    def _degrade_or_shed(self, q: Query, decided_at: float) -> None:
+        """Ladder rungs 2–3 for a request that cannot make its deadline.
+
+        Rung 2: a relaxed-tolerance certified oracle answer (p2p only,
+        and only while the oracle is not decertified) — degraded but
+        still provably within ``relaxed_tolerance``.  Rung 3: explicit
+        shed at the deadline, counted and SLO-accounted.  The ladder
+        never produces a silently wrong answer.
+        """
+        cfg = self.config
+        r = self.report
+        if q.is_p2p and (
+            self.chaos is None or not self.chaos.oracle_decertified(decided_at)
+        ):
+            answer = certified_answer(
+                self.oracle, q.source, q.target, cfg.relaxed_tolerance
+            )
+            if answer is not None:
+                latency = max(ORACLE_LATENCY_MS, decided_at - q.t_ms)
+                r.degraded += 1
+                self._complete(q, "degraded", latency, answer)
+                return
+        from .chaos import emit_chaos
+
+        deadline = q.t_ms + cfg.deadline_ms
+        r.shed += 1
+        r.slo_violations += 1
+        self.last_completion = max(self.last_completion, deadline)
+        self._trace("shed", q, cfg.deadline_ms)
+        emit_chaos(
+            "shed", deadline, qid=q.qid, source=q.source, target=q.target
+        )
+
     def _flush(self, now: float) -> None:
         """Run the pending batch's distinct sources on the best shard."""
         if not self.pending:
             return
+        cfg = self.config
         r = self.report
         sources: list[int] = []
         for q in self.pending:
             if q.source not in sources:
                 sources.append(q.source)
-        shard = min(range(len(self.busy_until)), key=lambda i: (self.busy_until[i], i))
-        start = max(now, self.busy_until[shard])
-        t_end = start
         fields: dict[int, np.ndarray] = {}
-        for source in sources:
-            dist, run_ms = self._exact_run(source)
-            t_end += run_ms
-            fields[source] = dist
-        self.busy_until[shard] = t_end
+        if self.chaos is None:
+            shard = min(
+                range(len(self.busy_until)),
+                key=lambda i: (self.busy_until[i], i),
+            )
+            start = max(now, self.busy_until[shard])
+            t_end = start
+            for source in sources:
+                dist, run_ms = self._exact_run(source)
+                t_end += run_ms
+                fields[source] = dist
+            self.busy_until[shard] = t_end
+        else:
+            # chaos dispatch: hedged retry over healthy shards, breakers,
+            # blackout/slowdown-aware completion times
+            work_ms = 0.0
+            for source in sources:
+                dist, run_ms = self._exact_run(source)
+                work_ms += run_ms
+                fields[source] = dist
+            shard, t_end = self.chaos.dispatch(self.busy_until, now, work_ms)
         r.batches += 1
         r.exact_runs += len(sources)
         for source in sources:
@@ -337,6 +469,9 @@ class _Session:
             self.lru.put(source, fields[source])
             self._validate_field(source, fields[source])
         for q in self.pending:
+            if self.deadline_active and t_end > q.t_ms + cfg.deadline_ms:
+                self._degrade_or_shed(q, q.t_ms + cfg.deadline_ms)
+                continue
             latency = t_end - q.t_ms
             answer = (
                 float(fields[q.source][q.target]) if q.is_p2p else float("nan")
@@ -350,6 +485,9 @@ class _Session:
     def admit(self, q: Query, oracle) -> None:
         cfg = self.config
         r = self.report
+        self._now = q.t_ms
+        if self.chaos is not None:
+            self.chaos.advance(q.t_ms, self.lru)
         r.queries += 1
         if q.is_p2p:
             r.p2p_queries += 1
@@ -362,6 +500,11 @@ class _Session:
             field_arr = self.lru.peek(q.source)
             if field_arr is not None:
                 latency = (done_at - q.t_ms) + CACHE_LATENCY_MS
+                if self.deadline_active and latency > cfg.deadline_ms:
+                    # waiting for the in-flight batch would blow the
+                    # deadline, and re-running would not be faster
+                    self._degrade_or_shed(q, q.t_ms)
+                    return
                 answer = (
                     float(field_arr[q.target]) if q.is_p2p else float("nan")
                 )
@@ -377,13 +520,19 @@ class _Session:
             self._complete(q, "cache", CACHE_LATENCY_MS, answer)
             return
 
-        # 3) landmark oracle, for p2p queries the bracket certifies
+        # 3) landmark oracle, for p2p queries the bracket certifies —
+        #    unless a chaos outage has decertified the landmark data
         if q.is_p2p:
-            answer = certified_answer(oracle, q.source, q.target, cfg.tolerance)
-            if answer is not None:
-                r.oracle_hits += 1
-                self._complete(q, "oracle", ORACLE_LATENCY_MS, answer)
-                return
+            if self.chaos is not None and self.chaos.oracle_decertified(q.t_ms):
+                r.oracle_refusals += 1
+            else:
+                answer = certified_answer(
+                    oracle, q.source, q.target, cfg.tolerance
+                )
+                if answer is not None:
+                    r.oracle_hits += 1
+                    self._complete(q, "oracle", ORACLE_LATENCY_MS, answer)
+                    return
 
         # 4) exact fallback through the batching window
         if not self.pending:
@@ -414,6 +563,7 @@ def serve_traffic(
     report = session.report
 
     warm = warm_oracle(graph, config, spec=spec)
+    session.oracle = warm.oracle
     report.warmup_ms = warm.warmup_ms
     report.oracle_artifact_hit = warm.artifact_hit
     # landmark fields are exact full fields: seed the LRU with them

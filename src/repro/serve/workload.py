@@ -78,6 +78,16 @@ class ServeConfig:
     plan: str | None = None
     #: byte cap of the in-memory distance-field LRU
     cache_bytes: int = 32 * 1024 * 1024
+    #: named serving-tier chaos plan (:mod:`repro.serve.chaos`); None = off.
+    #: The chaos-off path is byte-identical to a scheduler without the
+    #: chaos layer at all.
+    chaos: str | None = None
+    #: per-request deadline in simulated ms (0 = no deadline). A request
+    #: that cannot complete in time walks the degradation ladder:
+    #: relaxed-tolerance oracle answer, else an explicit shed.
+    deadline_ms: float = 0.0
+    #: tolerance the degraded (ladder rung 2) oracle answers must certify
+    relaxed_tolerance: float = 0.5
 
     def with_seed_offset(self, offset: int) -> "ServeConfig":
         """The same session under a shifted master seed."""

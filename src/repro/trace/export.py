@@ -159,7 +159,7 @@ def load_trace(path: str) -> tuple[list[TraceEvent], dict]:
         device = -1 if pid == _HOST_PID else pid
         kind = str(rec.get("cat", "mark"))
         name = str(rec.get("name", ""))
-        if kind in ("fault", "recovery", "alloc", "mark") and ":" in name:
+        if kind in ("fault", "recovery", "alloc", "mark", "chaos") and ":" in name:
             name = name.split(":", 1)[1]
         events.append(TraceEvent(
             kind=kind, name=name,
@@ -268,6 +268,24 @@ def format_summary(trace, meta: dict | None = None) -> str:
                          f"  array={e.args.get('array', '?')}")
         if len(faults) > 8:
             lines.append(f"  ... and {len(faults) - 8} more")
+
+    chaos = [e for e in events if e.kind == "chaos"]
+    if chaos:
+        by_name = Counter(e.name for e in chaos)
+        lines.append(f"\nchaos ({len(chaos)} event(s)):")
+        lines.append("  by event: " + ", ".join(
+            f"{k}={n}" for k, n in sorted(by_name.items())))
+        transitions = [e for e in chaos if e.name.startswith("breaker_")]
+        for e in transitions[:10]:
+            lines.append(f"  @{e.ts_ms:9.3f} ms  {e.name:<18}"
+                         f"  shard={e.args.get('shard', '?')}")
+        if len(transitions) > 10:
+            lines.append(f"  ... and {len(transitions) - 10} more "
+                         "breaker transition(s)")
+        shed = by_name.get("shed", 0)
+        if shed:
+            lines.append(f"  {shed} request(s) shed at their deadline "
+                         "(SLO-accounted, never answered wrong)")
 
     serve = [e for e in events if e.kind == "serve"]
     if serve:

@@ -57,7 +57,8 @@ class TraceEvent:
 
     ``kind`` is the event taxonomy (see docs/observability.md):
     ``kernel`` | ``bucket`` | ``counter`` | ``round`` | ``fault`` |
-    ``recovery`` | ``alloc`` | ``mark`` | ``host``.  Spans carry a
+    ``recovery`` | ``alloc`` | ``mark`` | ``host`` | ``serve`` |
+    ``chaos``.  Spans carry a
     nonzero ``dur_ms``; instants carry 0.  ``device`` is the ordinal of
     the simulated device the event happened on (-1 for host events).
     """

@@ -161,6 +161,26 @@ class TestRecovery:
         validate_distances(RMAT, RMAT_SRC, r.dist)
         assert rep.escaped == 0
 
+    def test_retry_budget_spent_continues_without_rollback(self):
+        """With max_retries=0 an abort is caught but never rolled back:
+        the runtime logs the budget exhaustion, resumes from its current
+        (still-monotone) state, and the final repair sweeps still deliver
+        exact distances."""
+        policy = RecoveryPolicy(max_retries=0)
+        r, rep = faulty_sssp(
+            KRON, KRON_SRC, method="rdbs", plan="kernel-aborts",
+            seed=0, spec=SPEC, recovery=policy,
+        )
+        validate_distances(KRON, KRON_SRC, r.dist)
+        assert rep.injected > 0
+        assert rep.rollbacks == 0
+        assert any(
+            "retry budget spent; continuing without rollback" in action
+            for action in rep.actions
+        )
+        assert rep.escaped == 0
+        assert rep.verified is True
+
 
 # ----------------------------------------------------------------------
 # recovery off: faults detected but uncorrected

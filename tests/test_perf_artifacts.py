@@ -96,13 +96,59 @@ def test_corrupted_entry_is_rejected_and_rebuilt(tmp_path):
     assert hit is True
 
 
-def test_truncated_entry_is_a_miss(tmp_path):
+def test_truncated_entry_is_quarantined_and_rebuilt(tmp_path):
+    """A torn write (truncated .npz) is counted, deleted and recomputed."""
     cache = ArtifactCache(tmp_path)
     cache.fetch("test", ("a",), _bundle)
     path = cache.entry_path("test", ("a",))
     path.write_bytes(path.read_bytes()[:10])
-    _, hit = cache.fetch("test", ("a",), _bundle)
+    arrays, hit = cache.fetch("test", ("a",), _bundle)
     assert hit is False
+    assert cache.rejected == 1
+    np.testing.assert_array_equal(arrays["row"], _bundle()["row"])
+    # the junk file was replaced by a healthy rebuilt entry
+    _, hit = cache.fetch("test", ("a",), _bundle)
+    assert hit is True
+
+
+def test_truncation_inside_zip_member_is_quarantined(tmp_path):
+    """Truncating mid-payload (valid-looking header, torn member) is the
+    case that historically raised instead of missing; it must quarantine."""
+    cache = ArtifactCache(tmp_path)
+    big = {"x": np.arange(50_000, dtype=np.float64)}
+    cache.fetch("test", ("big",), lambda: big)
+    path = cache.entry_path("test", ("big",))
+    raw = path.read_bytes()
+    path.write_bytes(raw[: len(raw) - len(raw) // 3])
+    assert cache.load("test", ("big",)) is None
+    assert cache.rejected >= 1
+    assert not path.exists()  # quarantined, not left to trip again
+
+
+def test_zlib_error_is_quarantined(tmp_path, monkeypatch):
+    """A decompression error mid-read (zlib.error is not an OSError) is a
+    quarantine-and-recompute, never a crash."""
+    import zlib
+
+    cache = ArtifactCache(tmp_path)
+    cache.fetch("test", ("a",), _bundle)
+    path = cache.entry_path("test", ("a",))
+    assert path.exists()
+
+    def explode(*_args, **_kwargs):
+        raise zlib.error("Error -3 while decompressing data")
+
+    monkeypatch.setattr(np, "load", explode)
+    assert cache.load("test", ("a",)) is None
+    assert cache.rejected == 1
+    assert not path.exists()
+
+
+def test_missing_entry_is_a_plain_miss(tmp_path):
+    """A nonexistent entry is a miss, not a quarantine."""
+    cache = ArtifactCache(tmp_path)
+    assert cache.load("test", ("nope",)) is None
+    assert cache.rejected == 0
 
 
 def test_disabled_cache_always_rebuilds(tmp_path):

@@ -269,6 +269,75 @@ class TestExport:
 
 
 # ----------------------------------------------------------------------
+# chaos events (breaker transitions, hedges, sheds) in the trace
+# ----------------------------------------------------------------------
+
+class TestChaosEvents:
+    @pytest.fixture()
+    def chaos_tr(self, small_kron):
+        from repro.serve import ServeConfig, serve_traffic
+
+        cfg = ServeConfig(
+            num_queries=60, seed=5, p2p_fraction=0.7, tolerance=0.05,
+            source_pool=5, cold_fraction=0.4, landmarks=3, shards=2,
+            chaos="blackout", deadline_ms=0.1, relaxed_tolerance=0.9,
+        )
+        with tracing() as tr:
+            report = serve_traffic(small_kron, cfg)
+        assert report.ok
+        tr.meta.update(graph="kron", method="serve")
+        return tr
+
+    def test_breaker_and_shed_events_emitted(self, chaos_tr):
+        names = [e.name for e in chaos_tr.events if e.kind == "chaos"]
+        assert "breaker_open" in names
+        assert "breaker_half_open" in names
+        assert "hedge" in names
+        assert "shed" in names
+        for e in chaos_tr.events:
+            if e.kind == "chaos":
+                assert e.device == -1  # chaos lives on the host timeline
+                assert e.dur_ms == 0.0  # instants, not spans
+
+    def test_jsonl_round_trip_preserves_chaos_events(self, chaos_tr, tmp_path):
+        path = tmp_path / "chaos.jsonl"
+        write_jsonl(chaos_tr, str(path))
+        events, _meta = load_trace(str(path))
+        assert events == list(chaos_tr.events)
+
+    def test_chrome_round_trip_strips_chaos_prefix(self, chaos_tr, tmp_path):
+        path = tmp_path / "chaos.json"
+        write_chrome(chaos_tr, str(path))
+        doc = json.loads(path.read_text())
+        instants = [e["name"] for e in doc["traceEvents"]
+                    if e.get("cat") == "chaos"]
+        assert any(n == "chaos:breaker_open" for n in instants)
+        events, _meta = load_trace(str(path))
+        names = [e.name for e in events if e.kind == "chaos"]
+        assert "breaker_open" in names  # prefix stripped on load
+        assert not any(n.startswith("chaos:") for n in names)
+
+    def test_summary_has_chaos_section(self, chaos_tr):
+        text = format_summary(chaos_tr)
+        assert "chaos (" in text
+        assert "breaker_open" in text
+        assert "shed" in text
+        # the chaos section survives an export/import cycle too
+        events = list(chaos_tr.events)
+        assert "chaos (" in format_summary(events)
+
+    def test_chaos_off_session_has_no_chaos_events(self, small_kron):
+        from repro.serve import ServeConfig, serve_traffic
+
+        with tracing() as tr:
+            serve_traffic(small_kron, ServeConfig(
+                num_queries=30, seed=5, source_pool=4, landmarks=2, shards=2
+            ))
+        assert not [e for e in tr.events if e.kind == "chaos"]
+        assert "chaos (" not in format_summary(tr)
+
+
+# ----------------------------------------------------------------------
 # CLI
 # ----------------------------------------------------------------------
 
