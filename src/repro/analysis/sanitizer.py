@@ -29,6 +29,12 @@ closes each *synchronization window* — a launch, or a
 ``uninitialized-read``
     a load from a :meth:`~repro.gpusim.device.GPUDevice.empty` allocation
     cell that no store has touched (initcheck).
+``multisplit-key-range``
+    a warp-ballot multisplit handed a bucket key outside ``[0,
+    num_buckets)`` — on hardware the lane would index past its shared
+    histogram row and corrupt a neighbouring warp's staging area.  The
+    device fails fast right after observers run; this finding records the
+    offending lanes before that exception unwinds.
 
 On top of the generic rules sit SSSP-specific invariants:
 
@@ -389,6 +395,28 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # window closing
     # ------------------------------------------------------------------
+    def on_multisplit(
+        self, ctx: KernelContext, keys: np.ndarray, num_buckets: int, a
+    ) -> None:
+        """Validate multisplit bucket keys (shared-memory memcheck).
+
+        Runs before the device's own fail-fast ``ValueError``, so the
+        report keeps the offending lanes even when strict mode is off and
+        the caller swallows the exception.
+        """
+        keys = np.asarray(keys)
+        bad = np.flatnonzero((keys < 0) | (keys >= num_buckets))
+        if bad.size:
+            self._emit(
+                "multisplit-key-range",
+                "error",
+                f"{bad.size} lane(s) carry bucket keys outside "
+                f"[0, {num_buckets}) (min {int(keys[bad].min())}, "
+                f"max {int(keys[bad].max())})",
+                sample=bad,
+                count=int(bad.size),
+            )
+
     def on_device_barrier(self, device: GPUDevice, ctx: KernelContext) -> None:
         """A barrier inside a fused kernel closes the current race window."""
         self._close_window()

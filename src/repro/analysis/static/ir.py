@@ -36,12 +36,14 @@ __all__ = [
 MEMORY_OPS = ("gather", "scatter", "atomic_min", "atomic_add")
 
 #: KernelContext methods that shape execution without touching memory
+#: (``multisplit`` moves data only through shared memory, never DRAM)
 STRUCTURE_OPS = (
     "alu",
     "branch",
     "device_barrier",
     "async_round",
     "child_launch",
+    "multisplit",
 )
 
 #: every op kind the IR carries (``call`` is a device-function call site)

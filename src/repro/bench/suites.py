@@ -4,10 +4,11 @@ A *suite* is a fixed (datasets × methods) matrix whose records form one
 ``BENCH_<suite>.json`` trajectory file:
 
 * ``quick`` — two structurally opposed datasets (power-law Amazon,
-  uniform-degree road-TX) × the three headline engines (BL, ADDS, RDBS).
-  Small enough to run on every pull request (~15 s); rich enough that a
-  change to frontier handling, bucketing, the cost model or the counter
-  accounting moves at least one deterministic cell.
+  uniform-degree road-TX) × the headline engines (BL, ADDS, RDBS) plus
+  the Near-Far baseline.  Small enough to run on every pull request
+  (~15 s); rich enough that a change to frontier handling, bucketing,
+  the cost model or the counter accounting moves at least one
+  deterministic cell.
 * ``paper`` — the full Fig. 8 / Table 2 matrix: the six Fig. 8 datasets ×
   BL, ADDS, RDBS and the three optimization arms.  The record to refresh
   when publishing performance claims; too heavy for per-PR CI.
@@ -38,7 +39,7 @@ SUITES: dict[str, SuiteSpec] = {
     "quick": SuiteSpec(
         name="quick",
         datasets=("Amazon", "road-TX"),
-        methods=("bl", "adds", "rdbs"),
+        methods=("bl", "adds", "near-far", "rdbs"),
         num_sources=2,
     ),
     "paper": SuiteSpec(

@@ -48,6 +48,7 @@ __all__ = [
     "CellCheck",
     "ComparisonReport",
     "compare_records",
+    "format_counter_deltas",
     "format_diff",
     "git_sha",
 ]
@@ -422,6 +423,82 @@ def compare_records(
 # diff tables (``bench diff``)
 # ---------------------------------------------------------------------------
 
+#: counter components of the two headline totals the perf gate tracks
+_INSTRUCTION_KEYS = (
+    "inst_executed_global_loads",
+    "inst_executed_global_stores",
+    "inst_executed_atomics",
+    "inst_executed_other",
+    "inst_executed_ballots",
+)
+_TRANSACTION_KEYS = (
+    "global_load_transactions",
+    "global_store_transactions",
+    "atomic_transactions",
+)
+
+
+def _counter_total(counters: dict, keys: tuple[str, ...]) -> int:
+    """Sum of the named counters, absent keys counting as zero."""
+    return int(sum(counters.get(k, 0) for k in keys))
+
+
+def _delta_cells(old: int, new: int) -> list[str]:
+    """``old -> new`` plus the relative change, table-ready."""
+    pct = 100.0 * (new - old) / old if old else 0.0
+    return [f"{old}", f"{new}", f"{pct:+.2f}%"]
+
+
+def format_counter_deltas(
+    baseline: list[BenchRecord],
+    current: list[BenchRecord],
+    *,
+    labels: tuple[str, str] = ("baseline", "current"),
+) -> str:
+    """Per-cell instruction / transaction delta table.
+
+    One row per cell paired across the two trajectories, with the two
+    headline totals of the perf gate — warp instructions issued and
+     32-byte DRAM transactions — as ``old -> new`` columns plus the
+    relative change.  The table makes a placement change's wins (or
+    regressions) visible directly in CI output without opening either
+    JSON document.
+    """
+    from .harness import format_table  # deferred: harness imports us
+
+    a_label, b_label = labels
+    base_by_key = {r.key: r for r in baseline}
+    cur_by_key = {r.key: r for r in current}
+    rows = []
+    for key in sorted(set(base_by_key) & set(cur_by_key)):
+        b, c = base_by_key[key], cur_by_key[key]
+        cell = f"{key[0]}/{key[1]}" + (f"@{key[2]}" if key[2] else "")
+        rows.append(
+            [cell]
+            + _delta_cells(
+                _counter_total(b.counters, _INSTRUCTION_KEYS),
+                _counter_total(c.counters, _INSTRUCTION_KEYS),
+            )
+            + _delta_cells(
+                _counter_total(b.counters, _TRANSACTION_KEYS),
+                _counter_total(c.counters, _TRANSACTION_KEYS),
+            )
+        )
+    return format_table(
+        [
+            "cell",
+            f"inst ({a_label})",
+            f"inst ({b_label})",
+            "Δ inst",
+            f"tx ({a_label})",
+            f"tx ({b_label})",
+            "Δ tx",
+        ],
+        rows,
+        title=f"instruction / transaction deltas — {a_label} vs {b_label}",
+    )
+
+
 def format_diff(
     baseline: list[BenchRecord],
     current: list[BenchRecord],
@@ -432,7 +509,9 @@ def format_diff(
 
     One row per cell with the headline quantities; counter drift is
     summarized as the number of differing counters (the full dicts live in
-    the JSON files themselves).
+    the JSON files themselves).  A second table breaks the two headline
+    counter totals (warp instructions, DRAM transactions) out per cell as
+    ``old -> new`` deltas.
     """
     from .harness import format_table  # deferred: harness imports us
 
@@ -477,7 +556,7 @@ def format_diff(
             f"{wall_pct:+.1f}%",
             "ok" if not drifted and abs(time_pct) < 1e-7 else "DRIFT",
         ])
-    return format_table(
+    headline = format_table(
         [
             "cell",
             f"ms ({a_label})",
@@ -490,3 +569,5 @@ def format_diff(
         rows,
         title=f"bench diff — {a_label} vs {b_label}",
     )
+    deltas = format_counter_deltas(baseline, current, labels=labels)
+    return headline + "\n\n" + deltas

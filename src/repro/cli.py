@@ -166,15 +166,49 @@ def _cmd_compare(args) -> int:
     return 0
 
 
+def _primitive_breakdown(prof) -> dict:
+    """The ``primitive:*`` regions of a profiler as a JSON-ready dict.
+
+    One entry per primitive family (``sort`` / ``scan`` /
+    ``multisplit``) with accumulated host seconds and call counts — the
+    per-primitive breakdown ``repro profile`` prints and serializes.
+    """
+    out = {}
+    for name in sorted(prof.seconds):
+        if not name.startswith("primitive:"):
+            continue
+        out[name.split(":", 1)[1]] = {
+            "seconds": float(prof.seconds[name]),
+            "calls": int(prof.calls[name]),
+        }
+    return out
+
+
+def _print_primitives(prims: dict) -> None:
+    if not prims:
+        return
+    print("\nper-primitive host time:")
+    for name, row in sorted(
+        prims.items(), key=lambda kv: kv[1]["seconds"], reverse=True
+    ):
+        print(f"  {name:<12s} {row['seconds']:9.3f} s {row['calls']:8d} calls")
+
+
 def _cmd_profile(args) -> int:
     if args.suite:
         return _profile_suite(args)
     if not args.graph:
         raise SystemExit("profile: provide a graph spec, or --suite NAME "
                          "for a host-time suite profile")
+    from .perf.profile import profiling
+
     graph = parse_graph_spec(args.graph, seed=args.seed)
     source = _pick_source(graph, args.source)
-    r = sssp(graph, source, method=args.method, **_gpu_kwargs(args, args.method))
+    with profiling() as prof:
+        r = sssp(
+            graph, source, method=args.method,
+            **_gpu_kwargs(args, args.method),
+        )
     timeline = r.extra.get("timeline")
     if timeline is None:
         raise SystemExit(f"method {args.method!r} has no kernel timeline "
@@ -190,6 +224,19 @@ def _cmd_profile(args) -> int:
         f"hit={c.global_hit_rate:.1f}% "
         f"simt_eff={c.simt_efficiency:.2f}"
     )
+    prims = _primitive_breakdown(prof)
+    _print_primitives(prims)
+    if args.json:
+        prof.write_json(
+            args.json,
+            extra={
+                "graph": str(graph),
+                "method": r.method,
+                "time_ms": float(r.time_ms),
+                "primitives": prims,
+            },
+        )
+        print(f"wrote host-profile report to {args.json}")
     return 0
 
 
@@ -217,6 +264,8 @@ def _profile_suite(args) -> int:
     print(f"suite {args.suite!r}: {len(records)} cell(s), jobs={args.jobs}")
     print(f"host wall {wall:.2f} s, solver host {solver:.2f} s\n")
     print(prof.format_table())
+    prims = _primitive_breakdown(prof)
+    _print_primitives(prims)
     st = cache_stats()
     s = st["session"]
     print(
@@ -233,6 +282,7 @@ def _profile_suite(args) -> int:
                 "suite_wall_seconds": wall,
                 "solver_host_seconds": solver,
                 "cache": st,
+                "primitives": prims,
             },
         )
         print(f"wrote host-profile report to {args.json}")
@@ -862,7 +912,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--jobs", type=int, default=1,
                     help="worker processes for --suite (0 = all cores)")
     sp.add_argument("--json", default=None, metavar="PATH",
-                    help="also write the --suite report as JSON")
+                    help="also write the host-profile report "
+                         "(with the per-primitive breakdown) as JSON")
     sp.set_defaults(fn=_cmd_profile)
 
     sp = sub.add_parser(

@@ -114,9 +114,13 @@ _PLANS: dict[str, FaultPlan] = {
         "lost-updates",
         specs=(FaultSpec("lost-update", count=8, start=2, period=3),),
     ),
+    # period 1: the multisplit placement re-activates from register-resident
+    # atomic results instead of a second global read, which removes the
+    # most corruptible gather from the stream — a denser schedule keeps
+    # the plan's faults landing on state-changing reads
     "stale-reads": FaultPlan(
         "stale-reads",
-        specs=(FaultSpec("stale-read", count=12, start=3, period=2),),
+        specs=(FaultSpec("stale-read", count=12, start=3, period=1),),
     ),
     "bitflips": FaultPlan(
         "bitflips",

@@ -32,6 +32,9 @@ class KernelCounters:
     #: warp-level non-memory (ALU/control) instructions, including the extra
     #: issues caused by branch-divergence serialization
     inst_executed_other: int = 0
+    #: warp-level ballot instructions (``__ballot_sync`` rounds of the
+    #: W-MS multisplit model — one per split bit per warp slot)
+    inst_executed_ballots: int = 0
 
     # --- memory system ---------------------------------------------------
     #: 32-byte global memory transactions issued for loads
@@ -44,6 +47,16 @@ class KernelCounters:
     #: L1/tex lookups and hits (loads only, matching nvprof global_hit_rate)
     l1_accesses: int = 0
     l1_hits: int = 0
+    #: shared-memory transactions (multisplit rank/scatter staging plus the
+    #: per-warp histogram combine); on-chip traffic — occupies the LSU issue
+    #: pipe but never DRAM, so it is *not* part of ``total_transactions``
+    shared_transactions: int = 0
+
+    # --- multisplit events -----------------------------------------------
+    #: counted ``k.multisplit`` invocations (histogram passes)
+    multisplit_ops: int = 0
+    #: sum of bucket fan-outs over those invocations
+    multisplit_buckets: int = 0
 
     # --- SIMT efficiency ---------------------------------------------------
     #: warp instructions whose active mask was divergent (<32 active lanes)
@@ -82,6 +95,7 @@ class KernelCounters:
             + self.inst_executed_global_stores
             + self.inst_executed_atomics
             + self.inst_executed_other
+            + self.inst_executed_ballots
         )
 
     @property
@@ -120,9 +134,26 @@ class KernelCounters:
         scalars, which ``json`` refuses to encode) and derived metrics are
         plain ``float`` — so two identical runs always serialize to the
         same JSON, byte for byte.
+
+        The four multisplit-era keys (``inst_executed_ballots``,
+        ``shared_transactions``, ``multisplit_ops``,
+        ``multisplit_buckets``) appear only when the run issued at least
+        one multisplit.  Key presence is a deterministic function of the
+        counted events, and a run with the ``REPRO_NO_MULTISPLIT``
+        fallback active therefore serializes byte-identically to a
+        pre-multisplit build — the property the baseline-compatibility
+        gate pins.
         """
+        multisplit_keys = (
+            "inst_executed_ballots",
+            "shared_transactions",
+            "multisplit_ops",
+            "multisplit_buckets",
+        )
         d: dict[str, float] = {
-            f.name: int(getattr(self, f.name)) for f in fields(self)
+            f.name: int(getattr(self, f.name))
+            for f in fields(self)
+            if self.multisplit_ops or f.name not in multisplit_keys
         }
         d["global_hit_rate"] = float(self.global_hit_rate)
         d["simt_efficiency"] = float(self.simt_efficiency)

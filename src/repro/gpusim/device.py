@@ -43,8 +43,10 @@ from .memory import BumpAllocator, DeviceArray, coalesce
 from .spec import GPUSpec, V100
 from .timemodel import kernel_time
 from ..perf.profile import active_profiler
+from .multisplit import ballot_rounds
 from ..util.scan import (
     distinct_count,
+    multisplit_order,
     serialized_min_outcome,
     stable_sort_with_order,
 )
@@ -69,9 +71,11 @@ OBSERVER_EVENTS = (
     "on_kernel_begin",
     "on_kernel_complete",
     "on_kernel_end",
+    "on_multisplit",
     "transform_read",
     "transform_atomic",
     "transform_exchange",
+    "transform_multisplit",
 )
 
 _NO_HANDLERS: tuple = ()
@@ -413,6 +417,47 @@ class KernelContext:
         self.critical_instructions += a.max_steps
         self._note_assignment(a, issued)
 
+    def multisplit(
+        self, keys: np.ndarray, num_buckets: int, a: WorkAssignment
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Warp-ballot multisplit of ``keys`` into ``num_buckets`` groups.
+
+        Returns ``(order, offsets)``: a permutation grouping the
+        assignment's items by bucket key with stable within-bucket order,
+        and the exclusive bucket-start prefix (length ``num_buckets + 1``)
+        — the semantics of :func:`repro.util.scan.multisplit_order`.
+
+        Cost (the W-MS model, see :mod:`repro.gpusim.multisplit`): each
+        warp slot issues one ballot per split bit
+        (``ceil(log2 max(B, 2))``); rank/scatter staging and the per-warp
+        histogram combine are shared-memory transactions that occupy
+        issue slots but produce **no** global-memory traffic — which is
+        exactly why it beats the sort/scan/branch placements it replaces.
+
+        Keys must lie in ``[0, num_buckets)``; out-of-range keys raise
+        after observers are notified, so the sanitizer records the
+        hazard before the fail-fast.
+        """
+        keys = np.asarray(keys, dtype=np.int64)
+        if keys.size != a.num_items:
+            raise ValueError("key array must match the assignment's items")
+        rounds = ballot_rounds(num_buckets)
+        c = self.counters
+        c.inst_executed_ballots += a.num_slots * rounds
+        c.shared_transactions += (
+            2 * a.num_slots + min(a.num_warps, a.num_slots) * num_buckets
+        )
+        c.multisplit_ops += 1
+        c.multisplit_buckets += num_buckets
+        self.critical_instructions += a.max_steps * (rounds + 1)
+        self._note_assignment(a, a.num_slots * rounds)
+        self.device._notify("on_multisplit", self, keys, num_buckets, a)
+        # key-transform hook (fault injection): runs after all accounting
+        # so the counted work is identical with or without observers
+        for fn in self.device._transform_multisplit:
+            keys = fn(self, keys, num_buckets, a)
+        return multisplit_order(keys, num_buckets)
+
     # ------------------------------------------------------------------
     # launch-structure events
     # ------------------------------------------------------------------
@@ -487,6 +532,9 @@ class GPUDevice:
         self._dispatch = table
         self._transform_read = table.get("transform_read", _NO_HANDLERS)
         self._transform_atomic = table.get("transform_atomic", _NO_HANDLERS)
+        self._transform_multisplit = table.get(
+            "transform_multisplit", _NO_HANDLERS
+        )
 
     def handlers(self, event: str) -> tuple:
         """Pre-bound handler methods of every observer handling ``event``."""

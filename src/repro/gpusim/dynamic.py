@@ -29,7 +29,14 @@ from .kernels import (
     threads_per_vertex_edges,
 )
 
-__all__ = ["WorkloadClasses", "classify_workloads", "launch_adaptive", "ALPHA", "BETA"]
+__all__ = [
+    "WorkloadClasses",
+    "classify_workloads",
+    "classify_multisplit",
+    "launch_adaptive",
+    "ALPHA",
+    "BETA",
+]
 
 #: block-granularity threshold (light edges) — "the number of Block
 #: granularity threads"
@@ -64,6 +71,30 @@ def classify_workloads(edge_counts: np.ndarray) -> WorkloadClasses:
     middle = np.flatnonzero((edge_counts >= BETA) & (edge_counts < ALPHA))
     large = np.flatnonzero(edge_counts >= ALPHA)
     return WorkloadClasses(small=small, middle=middle, large=large)
+
+
+def classify_multisplit(
+    ctx: KernelContext,
+    edge_counts: np.ndarray,
+    assignment: WorkAssignment,
+) -> WorkloadClasses:
+    """ADWL classification as one counted 3-way warp-ballot multisplit.
+
+    Membership-identical to :func:`classify_workloads` — the multisplit's
+    stable within-bucket order reproduces the ascending-position lists the
+    three ``flatnonzero`` passes yield — but counted as two ballot rounds
+    per warp slot (``ceil(log2 3)``) instead of the two per-slot compare
+    ALUs of the flag-and-scan classification, and the class lists come out
+    grouped for free instead of needing three scan passes.
+    """
+    edge_counts = np.asarray(edge_counts)
+    keys = (edge_counts >= BETA).astype(np.int64) + (edge_counts >= ALPHA)
+    order, offsets = ctx.multisplit(keys, 3, assignment)
+    return WorkloadClasses(
+        small=order[: offsets[1]],
+        middle=order[offsets[1]:offsets[2]],
+        large=order[offsets[2]:offsets[3]],
+    )
 
 
 def launch_adaptive(

@@ -3,8 +3,10 @@
 A kernel's simulated duration is the slowest of three bounds, the standard
 roofline-style decomposition for throughput processors:
 
-* **issue bound** — total warp instructions divided by the device's
-  aggregate issue rate (all SMs, ``issue_per_sm_per_cycle`` each);
+* **issue bound** — total warp instructions (plus shared-memory
+  transactions, which occupy LSU issue slots without touching DRAM)
+  divided by the device's aggregate issue rate (all SMs,
+  ``issue_per_sm_per_cycle`` each);
 * **memory bound** — DRAM traffic (L1-missing load transactions plus all
   store/atomic transactions, ``sector_bytes`` each) divided by peak
   bandwidth;
@@ -45,7 +47,12 @@ def kernel_time(
     device (they depend on *how* the kernel was started, not on its body).
     """
     # --- issue bound -----------------------------------------------------
-    issue_s = counters.total_warp_instructions / spec.issue_slots_per_s
+    # shared-memory transactions (multisplit staging) occupy LSU issue
+    # slots like instructions do, but stay on-chip: they never join the
+    # DRAM term below
+    issue_s = (
+        counters.total_warp_instructions + counters.shared_transactions
+    ) / spec.issue_slots_per_s
 
     # --- memory bound ------------------------------------------------------
     dram_transactions = (

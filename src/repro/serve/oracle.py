@@ -33,7 +33,10 @@ from .workload import ServeConfig
 __all__ = ["WarmOracle", "warm_oracle", "certified_answer"]
 
 #: bump to invalidate cached oracle bundles when the build recipe changes
-ORACLE_BUNDLE_VERSION = 1
+#: — including engine cost-model changes, since the bundle memoizes the
+#: k landmark runs' *simulated build times* (v2: warp-ballot multisplit
+#: bucket placement changed the exact engines' kernel costs)
+ORACLE_BUNDLE_VERSION = 2
 
 
 @dataclass(frozen=True)

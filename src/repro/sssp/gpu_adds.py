@@ -25,6 +25,7 @@ from ..faults.runtime import make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import grid_stride, thread_per_item, thread_per_vertex_edges
+from ..gpusim.multisplit import multisplit_enabled
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
 from ..util.scan import sorted_unique_ints
@@ -72,9 +73,25 @@ def adds_sssp(
     far_mask = np.zeros(n, dtype=bool)
     # device-resident near worklist and far pile; insertions are stores.
     # write-only scratch, so the storage stays uninitialized (cudaMalloc
-    # semantics) — a read before a write is a bug the sanitizer flags
-    worklist_buf = device.empty(n, dtype=np.int64, name="near_worklist")
-    far_buf = device.empty(n, dtype=np.int64, name="far_pile")
+    # semantics) — a read before a write is a bug the sanitizer flags.
+    # The multisplit placement appends densely behind rolling cursors
+    # (coalesced stores) into its own slot arrays; the legacy path keeps
+    # its vertex-addressed buffers.  Distinct names so the two placement
+    # disciplines never share a store target.
+    use_ms = multisplit_enabled()
+    worklist_buf = far_buf = None
+    near_slots = far_slots = near_spill = far_spill = None
+    if use_ms:
+        slot_cap = max(graph.num_edges, 1)
+        near_slots = device.empty(slot_cap, dtype=np.int64, name="near_slots")
+        far_slots = device.empty(slot_cap, dtype=np.int64, name="far_slots")
+        near_spill = device.empty(n, dtype=np.int64, name="near_spill")
+        far_spill = device.empty(n, dtype=np.int64, name="far_spill")
+        cursors = {"near": 0, "far": 0}
+    else:
+        worklist_buf = device.empty(n, dtype=np.int64, name="near_worklist")
+        far_buf = device.empty(n, dtype=np.int64, name="far_pile")
+        cursors = None
     counters = {"steps": 0, "rounds": 0}
     # dynamic-Δ feedback: aim to keep a near set around the device's
     # resident-warp parallelism (ADDS's utilization-driven adjustment)
@@ -93,14 +110,22 @@ def adds_sssp(
                 with device.launch("adds_split") as k:
                     a = grid_stride(candidates.size, _SCAN_THREADS)
                     dvals = k.gather(dist, candidates, a)
-                    k.alu(a, ops=2)
+                    if use_ms:
+                        # one ballot round partitions near/far; the stable
+                        # bucket order is the candidates' original order,
+                        # so the promote set matches the mask filter
+                        keys = (dvals >= threshold).astype(np.int64)
+                        order, offs = k.multisplit(keys, 2, a)
+                        promote = candidates[order[: offs[1]]]
+                    else:
+                        k.alu(a, ops=2)
+                        promote = candidates[dvals < threshold]
             except InjectedKernelAbort as exc:
                 if runtime is None:
                     raise
                 near = _adds_reseed(runtime, exc, in_near, far_mask)
                 continue
             device.barrier()
-            promote = candidates[dvals < threshold]
             far_mask[promote] = False
             in_near[promote] = True
             if device.handlers("on_annotate"):
@@ -126,7 +151,8 @@ def adds_sssp(
             with device.launch("adds_async") as k:
                 _adds_async(
                     k, dgraph, dist, near, in_near, far_mask,
-                    worklist_buf, far_buf, stats, threshold,
+                    worklist_buf, far_buf, near_slots, far_slots,
+                    near_spill, far_spill, cursors, stats, threshold,
                     max_steps, cur_delta, counters,
                 )
         except ConvergenceError as exc:
@@ -163,9 +189,18 @@ def adds_sssp(
 
 def _adds_async(
     k, dgraph, dist, near, in_near, far_mask,
-    worklist_buf, far_buf, stats, threshold, max_steps, cur_delta, counters,
+    worklist_buf, far_buf, near_slots, far_slots, near_spill, far_spill,
+    cursors, stats, threshold, max_steps, cur_delta, counters,
 ):
-    """Drain the near worklist inside one persistent asynchronous kernel."""
+    """Drain the near worklist inside one persistent asynchronous kernel.
+
+    Worklist insertions take one of two disciplines: the legacy
+    vertex-addressed stores into ``worklist_buf`` / ``far_buf``, or (when
+    the warp-ballot multisplit is enabled, signalled by ``cursors``) dense
+    coalesced appends behind rolling cursors into ``near_slots`` /
+    ``far_slots``, overflowing into the vertex-addressed spill arrays.
+    """
+    use_ms = cursors is not None
     # per-round telemetry is host-only and gated on an attached observer
     note_rounds = bool(k.device.handlers("on_annotate"))
     while near:
@@ -202,22 +237,63 @@ def _adds_async(
         # resident) rather than an un-counted host re-read of dist
         is_near = out.new_dist[out.updated] < threshold
         sub = subset_assignment(a, out.updated)
-        k.branch(sub, is_near)
+        if use_ms:
+            # 2-way ballot multisplit replaces the divergent branch; the
+            # stable bucket order keeps the updated-target order, so the
+            # near/far halves equal the boolean-mask splits below
+            order, offs = k.multisplit((~is_near).astype(np.int64), 2, sub)
+            near_hits = upd[order[: offs[1]]]
+            far_hits = upd[order[offs[1]:]]
+        else:
+            k.branch(sub, is_near)
+            near_hits = upd[is_near]
+            far_hits = upd[~is_near]
 
-        fresh = sorted_unique_ints(upd[is_near])
+        fresh = sorted_unique_ints(near_hits)
         fresh = fresh[~in_near[fresh]]
         if fresh.size:
             in_near[fresh] = True
             far_mask[fresh] = False
             near.append(fresh)
             a_push = thread_per_item(fresh.size)
-            k.scatter(worklist_buf, fresh, fresh, a_push)
-        far_new = sorted_unique_ints(upd[~is_near])
+            if use_ms:
+                fsize = int(fresh.size)
+                ncur = cursors["near"]
+                if ncur + fsize <= near_slots.size:
+                    k.scatter(
+                        near_slots,
+                        ncur + np.arange(fsize, dtype=np.int64),
+                        fresh, a_push,
+                    )
+                    cursors["near"] = ncur + fsize
+                else:
+                    # full slot array (re-activation storm): fall back to
+                    # the vertex-addressed spill — distinct ids by
+                    # construction (sorted_unique_ints)
+                    # repro-static: assume-disjoint
+                    k.scatter(near_spill, fresh, fresh, a_push)
+            else:
+                k.scatter(worklist_buf, fresh, fresh, a_push)
+        far_new = sorted_unique_ints(far_hits)
         far_new = far_new[~in_near[far_new]]
         if far_new.size:
             far_mask[far_new] = True
             a_far = thread_per_item(far_new.size)
-            k.scatter(far_buf, far_new, far_new, a_far)
+            if use_ms:
+                wsize = int(far_new.size)
+                fcur = cursors["far"]
+                if fcur + wsize <= far_slots.size:
+                    k.scatter(
+                        far_slots,
+                        fcur + np.arange(wsize, dtype=np.int64),
+                        far_new, a_far,
+                    )
+                    cursors["far"] = fcur + wsize
+                else:
+                    # repro-static: assume-disjoint
+                    k.scatter(far_spill, far_new, far_new, a_far)
+            else:
+                k.scatter(far_buf, far_new, far_new, a_far)
 
 
 def _adds_reseed(runtime, exc, in_near, far_mask):

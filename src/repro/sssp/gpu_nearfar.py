@@ -18,6 +18,7 @@ from ..faults.runtime import make_runtime
 from ..graphs.csr import CSRGraph
 from ..gpusim.device import GPUDevice, subset_assignment
 from ..gpusim.kernels import grid_stride, thread_per_vertex_edges
+from ..gpusim.multisplit import multisplit_enabled
 from ..gpusim.spec import GPUSpec, V100
 from ..metrics.workstats import WorkStats
 from .errors import ConvergenceError
@@ -57,6 +58,14 @@ def nearfar_sssp(
     threshold = delta
     near = np.array([source], dtype=np.int64)
     far_mask = np.zeros(n, dtype=bool)
+    # windowed far pile (multisplit placement): the host mirrors each far
+    # vertex's latest inserted distance — exactly the register-resident
+    # value the winning atomic wrote, so ``far_val[v] == dist[v]`` for
+    # every far member — and buckets it on the absolute Δ-grid.  Threshold
+    # advances then promote every full window below the grid cell holding
+    # the threshold wholesale; only the straddling boundary window needs
+    # the counted gather-and-ballot split.
+    far_val = np.full(n, np.inf) if multisplit_enabled() else None
     settled_below = np.zeros(n, dtype=bool)
     iterations = 0
 
@@ -69,18 +78,46 @@ def nearfar_sssp(
                 break
             min_far = float(dist.data[finite].min())
             threshold = max(threshold + delta, min_far + delta)
-            try:
-                with device.launch("nearfar_split") as k:
-                    a = grid_stride(candidates.size, _SCAN_THREADS)
-                    dvals = k.gather(dist, candidates, a)
-                    k.alu(a, ops=2)
-            except InjectedKernelAbort as exc:
-                if runtime is None:
-                    raise
-                near, far_mask = _nearfar_reseed(runtime, exc, far_mask)
-                continue
-            device.barrier()
-            promote = candidates[dvals < threshold]
+            if far_val is not None:
+                vals = far_val[candidates]
+                # grid cell holding the threshold, clamped so float
+                # rounding can never misplace the promote boundary
+                grid_lo = min(float(np.floor(threshold / delta) * delta),
+                              threshold)
+                grid_hi = max(grid_lo + delta, threshold)
+                full = candidates[vals < grid_lo]
+                boundary = candidates[(vals >= grid_lo) & (vals < grid_hi)]
+                promote_b = np.zeros(0, dtype=np.int64)
+                if boundary.size:
+                    try:
+                        with device.launch("nearfar_split") as k:
+                            a = grid_stride(boundary.size, _SCAN_THREADS)
+                            dvals = k.gather(dist, boundary, a)
+                            keys = (dvals >= threshold).astype(np.int64)
+                            order, offs = k.multisplit(keys, 2, a)
+                            promote_b = boundary[order[: offs[1]]]
+                    except InjectedKernelAbort as exc:
+                        if runtime is None:
+                            raise
+                        near, far_mask = _nearfar_reseed(
+                            runtime, exc, far_mask, far_val, dist)
+                        continue
+                    device.barrier()
+                promote = np.union1d(full, promote_b)
+                far_val[promote] = np.inf
+            else:
+                try:
+                    with device.launch("nearfar_split") as k:
+                        a = grid_stride(candidates.size, _SCAN_THREADS)
+                        dvals = k.gather(dist, candidates, a)
+                        k.alu(a, ops=2)
+                except InjectedKernelAbort as exc:
+                    if runtime is None:
+                        raise
+                    near, far_mask = _nearfar_reseed(runtime, exc, far_mask)
+                    continue
+                device.barrier()
+                promote = candidates[dvals < threshold]
             far_mask[promote] = False
             near = promote
             continue
@@ -108,24 +145,45 @@ def nearfar_sssp(
                     upd_targets = out.targets[out.updated]
                     # classify on the value the winning atomic wrote — the
                     # register-resident result, not an un-counted dist re-read
-                    is_near = out.new_dist[out.updated] < threshold
+                    new_vals = out.new_dist[out.updated]
+                    is_near = new_vals < threshold
                     sub = subset_assignment(a, out.updated)
-                    k.branch(sub, is_near)
+                    if far_val is not None:
+                        # one ballot round partitions near/far; stable
+                        # bucket order keeps the updated-target order, so
+                        # the halves equal the boolean-mask splits
+                        order, offs = k.multisplit(
+                            (~is_near).astype(np.int64), 2, sub)
+                        near_hits = upd_targets[order[: offs[1]]]
+                        far_hits = upd_targets[order[offs[1]:]]
+                        far_hit_vals = new_vals[order[offs[1]:]]
+                    else:
+                        k.branch(sub, is_near)
+                        near_hits = upd_targets[is_near]
+                        far_hits = upd_targets[~is_near]
+                        far_hit_vals = new_vals[~is_near]
                 else:
-                    upd_targets = np.zeros(0, dtype=np.int64)
-                    is_near = np.zeros(0, dtype=bool)
+                    near_hits = np.zeros(0, dtype=np.int64)
+                    far_hits = np.zeros(0, dtype=np.int64)
+                    far_hit_vals = np.zeros(0)
         except InjectedKernelAbort as exc:
             if runtime is None:
                 raise
-            near, far_mask = _nearfar_reseed(runtime, exc, far_mask)
+            near, far_mask = _nearfar_reseed(
+                runtime, exc, far_mask, far_val, dist)
             continue
         device.barrier()
 
-        near_next = np.unique(upd_targets[is_near])
-        far_new = np.unique(upd_targets[~is_near])
+        near_next = np.unique(near_hits)
+        far_new = np.unique(far_hits)
         far_mask[far_new] = True
         # a vertex pulled below the threshold leaves the far pile
         far_mask[near_next] = False
+        if far_val is not None:
+            # duplicate targets take the per-target minimum — the value
+            # the cell holds after the round's atomics
+            np.minimum.at(far_val, far_hits, far_hit_vals)
+            far_val[near_next] = np.inf
         near = near_next
 
     if runtime is not None:
@@ -147,15 +205,19 @@ def nearfar_sssp(
     )
 
 
-def _nearfar_reseed(runtime, exc, far_mask):
+def _nearfar_reseed(runtime, exc, far_mask, far_val=None, dist=None):
     """Roll back after an aborted kernel and rebuild the worklist.
 
     Every finite vertex of the restored checkpoint goes to the far pile;
     the next threshold advance re-promotes whatever still needs work.
     Re-relaxing already-settled vertices costs extra work but cannot
-    change a correct distance.
+    change a correct distance.  With the windowed far pile the value
+    mirror is rebuilt from the restored checkpoint's distances.
     """
     fin = runtime.on_abort(exc)
     far_mask[:] = False
     far_mask[fin] = True
+    if far_val is not None:
+        far_val[:] = np.inf
+        far_val[fin] = dist.data[fin]
     return np.zeros(0, dtype=np.int64), far_mask

@@ -30,9 +30,14 @@ import numpy as np
 from ..faults.plan import InjectedKernelAbort
 from ..faults.runtime import Watchdog, WatchdogTimeout, make_runtime
 from ..graphs.csr import CSRGraph
-from ..gpusim.compaction import compact
+from ..gpusim.compaction import compact, compact_multisplit
 from ..gpusim.device import GPUDevice, KernelContext
-from ..gpusim.dynamic import classify_workloads, launch_adaptive
+from ..gpusim.dynamic import (
+    classify_multisplit,
+    classify_workloads,
+    launch_adaptive,
+)
+from ..gpusim.multisplit import multisplit_enabled
 from ..gpusim.kernels import (
     grid_stride,
     thread_per_item,
@@ -293,6 +298,7 @@ def _rdbs_run(
             _phase23_fused(
                 device, dgraph, dist, outcome.settled, split,
                 pro=use_offsets, stats=stats, candidate_buf=candidate_buf,
+                next_lo=b_hi,
             )
         except (WatchdogTimeout, InjectedKernelAbort) as exc:
             if runtime is None:
@@ -408,10 +414,17 @@ def _relax_light(
     adwl: bool,
     stats: WorkStats,
     p1_stats: WorkStats,
-) -> tuple[np.ndarray, int]:
-    """Relax the light edges of ``vertices``; returns (updated targets, threads)."""
+) -> tuple[np.ndarray, np.ndarray, int]:
+    """Relax the light edges of ``vertices``.
+
+    Returns ``(targets, values, threads)``: the targets whose atomics
+    lowered a cell, the written tentative distances aligned with them
+    (the register-resident :class:`~repro.sssp.relax.RelaxOutcome` values
+    the multisplit placement consumes), and the thread tally.
+    """
     threads = 0
     all_targets: list[np.ndarray] = []
+    all_values: list[np.ndarray] = []
 
     if pro:
         counts = dgraph.light_counts(vertices)
@@ -425,11 +438,14 @@ def _relax_light(
         weight_filter = (split, True)
 
     if adwl:
-        # manager threads classify vertices into workload lists; charged as
-        # one pass of per-vertex ALU work
+        # manager threads classify vertices into workload lists: one 3-way
+        # warp-ballot multisplit, or (fallback) one pass of per-vertex ALU
         a_cls = thread_per_item(vertices.size)
-        ctx.alu(a_cls, ops=2)
-        classes = classify_workloads(counts)
+        if multisplit_enabled():
+            classes = classify_multisplit(ctx, counts, a_cls)
+        else:
+            ctx.alu(a_cls, ops=2)
+            classes = classify_workloads(counts)
         if ctx.device.handlers("on_annotate"):
             ctx.device.annotate(
                 "adwl", small=int(classes.small.size),
@@ -445,17 +461,20 @@ def _relax_light(
     batches = dgraph.batch_groups(vertices, kind, groups)
     for (positions, assignment), batch in zip(groups, batches):
         vs = vertices[positions]
-        targets, updated = relax_batch(
+        out = relax_batch(
             ctx, dgraph, dist, vs, batch, assignment, (stats, p1_stats),
             weight_filter=weight_filter,
         )
-        if targets.size:
-            all_targets.append(targets[updated])
+        if out.targets.size:
+            all_targets.append(out.targets[out.updated])
+            all_values.append(out.new_dist[out.updated])
         threads += assignment.num_threads
 
     if all_targets:
-        return np.concatenate(all_targets), threads
-    return np.zeros(0, dtype=np.int64), threads
+        return np.concatenate(all_targets), np.concatenate(all_values), threads
+    return (
+        np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64), threads
+    )
 
 
 def _phase1_async(
@@ -488,10 +507,29 @@ def _phase1_async(
     rounds = 0
     queue: list[np.ndarray] = [members]
     in_queue[members] = True
-    # the device-resident workload lists; re-activations are stored into it
-    # by the manager threads (global store traffic).  Write-only scratch,
-    # so the allocation stays uninitialized (cudaMalloc semantics)
-    queue_buf = device.empty(dist.size, dtype=np.int64, name="workload_lists")
+    use_ms = multisplit_enabled()
+    if use_ms:
+        # multisplit placement appends re-activations *densely* behind a
+        # rolling cursor (coalesced stores instead of vertex-scattered
+        # ones); sized to the edge count because every push follows an
+        # updated relaxation.  The spill list absorbs the pathological
+        # overflow case with the legacy vertex-addressed stamp stores.
+        queue_slots = device.empty(
+            max(dgraph.graph.num_edges, 1), dtype=np.int64,
+            name="workload_slots",
+        )
+        queue_spill = device.empty(
+            dist.size, dtype=np.int64, name="workload_spill"
+        )
+        cursor = 0
+    else:
+        # the device-resident workload lists; re-activations are stored
+        # into it by the manager threads (global store traffic).
+        # Write-only scratch, so the allocation stays uninitialized
+        # (cudaMalloc semantics)
+        queue_buf = device.empty(
+            dist.size, dtype=np.int64, name="workload_lists"
+        )
     # per-round drain telemetry is host-side only, so it is gated on an
     # attached on_annotate observer — without one, no payload is built
     note_rounds = bool(device.handlers("on_annotate"))
@@ -520,7 +558,7 @@ def _phase1_async(
             if trace is not None:
                 trace.iteration(int(chunk.size))
 
-            targets, threads = _relax_light(
+            targets, values, threads = _relax_light(
                 k, dgraph, dist, chunk, split,
                 pro=pro, adwl=adwl, stats=stats, p1_stats=p1_stats,
             )
@@ -529,19 +567,53 @@ def _phase1_async(
 
             if targets.size:
                 cand = sorted_unique_ints(targets)
-                # manager threads re-read the *fresh* distances (BASYN's
-                # immediate visibility) as a counted gather
-                dv = k.gather(dist, cand, thread_per_item(cand.size))
-                cand = cand[(dv >= b_lo) & (dv < b_hi) & ~in_queue[cand]]
-                if cand.size:
-                    # manager threads push re-activated vertices back onto
-                    # the workload lists: classify + one queue store each
-                    a_push = thread_per_item(cand.size)
-                    k.alu(a_push, ops=2)
-                    k.scatter(queue_buf, cand, cand, a_push)
-                    in_queue[cand] = True
-                    queue.append(cand)
-                    reactivated = int(cand.size)
+                if use_ms:
+                    # the freshest distance per candidate is the minimum
+                    # of the round's register-resident atomicMin results
+                    # (RelaxOutcome.new_dist) — no re-gather needed; one
+                    # 2-way ballot multisplit partitions push vs skip
+                    pos = np.searchsorted(cand, targets)
+                    dv = np.full(cand.size, np.inf)
+                    np.minimum.at(dv, pos, values)
+                    keys = (
+                        (dv >= b_lo) & (dv < b_hi) & ~in_queue[cand]
+                    ).astype(np.int64)
+                    a_ms = thread_per_item(cand.size)
+                    order, offs = k.multisplit(keys, 2, a_ms)
+                    push = cand[order[offs[1]:]]
+                    if push.size:
+                        csize = int(push.size)
+                        a_push = thread_per_item(csize)
+                        if cursor + csize <= queue_slots.size:
+                            k.scatter(
+                                queue_slots,
+                                cursor + np.arange(csize, dtype=np.int64),
+                                push, a_push,
+                            )
+                            cursor += csize
+                        else:
+                            # overflow spill: legacy vertex-addressed
+                            # stamp stores (same-value, benign)
+                            # repro-static: assume-disjoint
+                            k.scatter(queue_spill, push, push, a_push)
+                        in_queue[push] = True
+                        queue.append(push)
+                        reactivated = csize
+                else:
+                    # manager threads re-read the *fresh* distances
+                    # (BASYN's immediate visibility) as a counted gather
+                    dv = k.gather(dist, cand, thread_per_item(cand.size))
+                    cand = cand[(dv >= b_lo) & (dv < b_hi) & ~in_queue[cand]]
+                    if cand.size:
+                        # manager threads push re-activated vertices back
+                        # onto the workload lists: classify + one queue
+                        # store each
+                        a_push = thread_per_item(cand.size)
+                        k.alu(a_push, ops=2)
+                        k.scatter(queue_buf, cand, cand, a_push)
+                        in_queue[cand] = True
+                        queue.append(cand)
+                        reactivated = int(cand.size)
             if note_rounds:
                 device.annotate(
                     "async_round", round=rounds, drained=int(chunk.size),
@@ -587,7 +659,7 @@ def _phase1_sync(
                 "sync_round", round=rounds, frontier=int(frontier.size)
             )
         with device.launch("phase1_sync") as k:
-            targets, threads = _relax_light(
+            targets, _values, threads = _relax_light(
                 k, dgraph, dist, frontier, split,
                 pro=pro, adwl=adwl, stats=stats, p1_stats=p1_stats,
             )
@@ -619,6 +691,7 @@ def _phase23_fused(
     pro: bool,
     stats: WorkStats,
     candidate_buf=None,
+    next_lo: float = np.inf,
 ) -> None:
     """Relax heavy edges of the settled set, then scan for the next bucket.
 
@@ -627,8 +700,13 @@ def _phase23_fused(
     next-bucket scan reads every vertex's distance once.  The scan's result
     is consumed host-side by the bucket loop (the real implementation
     compacts into a device queue; the stores are accounted here).
+
+    ``next_lo`` is the closing bucket's upper boundary: the multisplit
+    scan partitions vertices on "still unsettled beyond this bucket"
+    with one ballot round instead of the two-ALU flag-and-scan pass.
     """
     n = dist.size
+    use_ms = multisplit_enabled()
     with device.launch("phase23_fused") as k:
         if settled.size:
             if pro:
@@ -644,15 +722,26 @@ def _phase23_fused(
                     weight_filter=weight_filter,
                 )
                 # compact the freshly updated heavy targets into the
-                # next-bucket candidate queue (scan + coalesced scatter)
+                # next-bucket candidate queue: warp-ballot ranking, or
+                # (fallback) scan + coalesced scatter
                 if (
                     weight_filter is None
                     and candidate_buf is not None
                     and targets.size
                 ):
-                    compact(k, candidate_buf, updated, targets, a)
+                    if use_ms:
+                        compact_multisplit(k, candidate_buf, updated, targets, a)
+                    else:
+                        compact(k, candidate_buf, updated, targets, a)
         # phase 3: one dist read per vertex to build the next bucket
         a_scan = grid_stride(n, PHASE23_THREADS)
-        k.gather(dist, np.arange(n, dtype=np.int64), a_scan)
-        k.alu(a_scan, ops=2)
+        dvals = k.gather(dist, np.arange(n, dtype=np.int64), a_scan)
+        if use_ms:
+            # partition "active beyond this bucket" with one ballot round
+            k.multisplit(
+                (np.isfinite(dvals) & (dvals >= next_lo)).astype(np.int64),
+                2, a_scan,
+            )
+        else:
+            k.alu(a_scan, ops=2)
         k.device_barrier()  # fused phases separated by a device-wide sync

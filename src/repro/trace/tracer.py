@@ -218,23 +218,34 @@ class Tracer:
         ``device.time_s - ctx.time_s``.
         """
         c = ctx.counters
+        args = {
+            "threads": int(c.threads_launched),
+            "warp_instructions": int(c.total_warp_instructions),
+            "loads": int(c.inst_executed_global_loads),
+            "stores": int(c.inst_executed_global_stores),
+            "atomics": int(c.inst_executed_atomics),
+            "l1_accesses": int(c.l1_accesses),
+            "l1_hits": int(c.l1_hits),
+            "atomic_conflicts": int(c.atomic_conflicts),
+            "child_launches": int(c.child_kernel_launches),
+            "async_rounds": int(c.async_rounds),
+            "barriers": int(c.barriers),
+            "critical_instructions": int(ctx.critical_instructions),
+        }
+        if c.multisplit_ops:
+            # warp-ballot multisplit telemetry (docs/observability.md):
+            # present only on launches that issued one, mirroring the
+            # counter snapshot's conditional keys
+            args.update({
+                "histogram_passes": int(c.multisplit_ops),
+                "num_buckets": int(c.multisplit_buckets),
+                "warp_ballots": int(c.inst_executed_ballots),
+                "shared_transactions": int(c.shared_transactions),
+            })
         self.emit(
             "kernel", ctx.name, (device.time_s - ctx.time_s) * 1e3,
             ctx.time_s * 1e3, self._ordinal(device),
-            args={
-                "threads": int(c.threads_launched),
-                "warp_instructions": int(c.total_warp_instructions),
-                "loads": int(c.inst_executed_global_loads),
-                "stores": int(c.inst_executed_global_stores),
-                "atomics": int(c.inst_executed_atomics),
-                "l1_accesses": int(c.l1_accesses),
-                "l1_hits": int(c.l1_hits),
-                "atomic_conflicts": int(c.atomic_conflicts),
-                "child_launches": int(c.child_kernel_launches),
-                "async_rounds": int(c.async_rounds),
-                "barriers": int(c.barriers),
-                "critical_instructions": int(ctx.critical_instructions),
-            },
+            args=args,
         )
 
     def on_annotate(self, device, tag: str, payload: dict) -> None:

@@ -5,14 +5,23 @@ uses: segmented iota, segmented prefix-min, and serialized atomic-min
 semantics over duplicate indices.  They appear in the CSR builders, the
 reordering passes, the GPU simulator and the CPU algorithms, so they live
 in one place.
+
+Each public primitive times itself under a ``primitive:{sort,scan,
+multisplit}`` host-profile region (free when no profiler is active), so
+``repro profile`` can break host time down by primitive family.  Regions
+are additive and nest: ``primitive:multisplit`` includes the stable sort
+it performs internally, which also accrues to ``primitive:sort``.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..perf.profile import region
+
 __all__ = [
     "distinct_count",
+    "multisplit_order",
     "segmented_arange",
     "segmented_exclusive_cummin",
     "serialized_min_outcome",
@@ -35,18 +44,53 @@ def stable_sort_with_order(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     (where the extra passes cost more than timsort) and for keys too large
     to pack.
     """
-    n = keys.size
-    if (
-        n > 512
-        and int(keys.max(initial=0)) < (1 << 62) // n
-        and int(keys.min(initial=0)) >= 0
-    ):
-        packed = keys * np.int64(n) + np.arange(n, dtype=np.int64)
-        packed.sort()
-        sorted_keys, order = np.divmod(packed, np.int64(n))
-        return sorted_keys, order
-    order = np.argsort(keys, kind="stable")
-    return keys[order], order.astype(np.int64, copy=False)
+    with region("primitive:sort"):
+        n = keys.size
+        if (
+            n > 512
+            and int(keys.max(initial=0)) < (1 << 62) // n
+            and int(keys.min(initial=0)) >= 0
+        ):
+            packed = keys * np.int64(n) + np.arange(n, dtype=np.int64)
+            packed.sort()
+            sorted_keys, order = np.divmod(packed, np.int64(n))
+            return sorted_keys, order
+        order = np.argsort(keys, kind="stable")
+        return keys[order], order.astype(np.int64, copy=False)
+
+
+def multisplit_order(
+    keys: np.ndarray, num_buckets: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """``(order, offsets)`` of a stable multisplit into ``num_buckets``.
+
+    The host reference for the device's warp-ballot multisplit primitive
+    (:meth:`repro.gpusim.device.KernelContext.multisplit`): ``order`` is a
+    permutation grouping elements by bucket key with the *original
+    relative order preserved inside each bucket* (exactly
+    ``argsort(keys, kind='stable')``), and ``offsets`` is the exclusive
+    bucket-start prefix of length ``num_buckets + 1``, so bucket ``b``
+    occupies ``order[offsets[b]:offsets[b + 1]]``.
+
+    Keys must lie in ``[0, num_buckets)``; the bucket count is the small
+    split fan-out (2–32), not a general sort domain.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be >= 1")
+    with region("primitive:multisplit"):
+        keys = np.asarray(keys, dtype=np.int64)
+        counts = np.bincount(keys, minlength=num_buckets)
+        if counts.size > num_buckets:
+            raise ValueError(
+                f"multisplit keys must lie in [0, {num_buckets}); "
+                f"got max {int(keys.max())}"
+            )
+        offsets = np.zeros(num_buckets + 1, dtype=np.int64)
+        np.cumsum(counts, out=offsets[1:])
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.int64), offsets
+        _, order = stable_sort_with_order(keys)
+        return order, offsets
 
 
 def _bincount_range(values: np.ndarray) -> tuple[int, int] | None:
@@ -72,11 +116,14 @@ def distinct_count(values: np.ndarray) -> int:
     """
     if values.size == 0:
         return 0
-    rng = _bincount_range(values)
-    if rng is None:
-        return int(np.unique(values).size)
-    lo, hi = rng
-    return int(np.count_nonzero(np.bincount(values - lo, minlength=hi - lo + 1)))
+    with region("primitive:scan"):
+        rng = _bincount_range(values)
+        if rng is None:
+            return int(np.unique(values).size)
+        lo, hi = rng
+        return int(
+            np.count_nonzero(np.bincount(values - lo, minlength=hi - lo + 1))
+        )
 
 
 def sorted_unique_ints(values: np.ndarray) -> np.ndarray:
@@ -87,26 +134,28 @@ def sorted_unique_ints(values: np.ndarray) -> np.ndarray:
     """
     if values.size == 0:
         return np.zeros(0, dtype=np.int64)
-    rng = _bincount_range(values)
-    if rng is None:
-        return np.unique(values).astype(np.int64, copy=False)
-    lo, hi = rng
-    out = np.flatnonzero(np.bincount(values - lo, minlength=hi - lo + 1))
-    if lo:
-        out += lo
-    return out.astype(np.int64, copy=False)
+    with region("primitive:scan"):
+        rng = _bincount_range(values)
+        if rng is None:
+            return np.unique(values).astype(np.int64, copy=False)
+        lo, hi = rng
+        out = np.flatnonzero(np.bincount(values - lo, minlength=hi - lo + 1))
+        if lo:
+            out += lo
+        return out.astype(np.int64, copy=False)
 
 
 def segmented_arange(counts: np.ndarray) -> np.ndarray:
     """``concatenate([arange(c) for c in counts])`` with no Python loop."""
-    counts = np.asarray(counts, dtype=np.int64)
-    total = int(counts.sum())
-    if total == 0:
-        return np.zeros(0, dtype=np.int64)
-    ends = np.cumsum(counts)
-    out = np.arange(total, dtype=np.int64)
-    out -= np.repeat(ends - counts, counts)
-    return out
+    with region("primitive:scan"):
+        counts = np.asarray(counts, dtype=np.int64)
+        total = int(counts.sum())
+        if total == 0:
+            return np.zeros(0, dtype=np.int64)
+        ends = np.cumsum(counts)
+        out = np.arange(total, dtype=np.int64)
+        out -= np.repeat(ends - counts, counts)
+        return out
 
 
 def segmented_exclusive_cummin(
@@ -121,20 +170,21 @@ def segmented_exclusive_cummin(
     n = values.size
     if n == 0:
         return values.astype(np.float64, copy=True)
-    idx = np.arange(n, dtype=np.int64)
-    seg_first = np.maximum.accumulate(np.where(seg_start, idx, 0))
-    pos_in_seg = idx - seg_first
-    inclusive = values.astype(np.float64, copy=True)
-    d = 1
-    max_pos = int(pos_in_seg.max())
-    while d <= max_pos:
-        can = np.flatnonzero(pos_in_seg >= d)
-        inclusive[can] = np.minimum(inclusive[can], inclusive[can - d])
-        d <<= 1
-    exclusive = np.full(n, np.inf)
-    inner = pos_in_seg > 0
-    exclusive[inner] = inclusive[np.flatnonzero(inner) - 1]
-    return exclusive
+    with region("primitive:scan"):
+        idx = np.arange(n, dtype=np.int64)
+        seg_first = np.maximum.accumulate(np.where(seg_start, idx, 0))
+        pos_in_seg = idx - seg_first
+        inclusive = values.astype(np.float64, copy=True)
+        d = 1
+        max_pos = int(pos_in_seg.max())
+        while d <= max_pos:
+            can = np.flatnonzero(pos_in_seg >= d)
+            inclusive[can] = np.minimum(inclusive[can], inclusive[can - d])
+            d <<= 1
+        exclusive = np.full(n, np.inf)
+        inner = pos_in_seg > 0
+        exclusive[inner] = inclusive[np.flatnonzero(inner) - 1]
+        return exclusive
 
 
 def serialized_min_outcome(

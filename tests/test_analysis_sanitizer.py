@@ -196,6 +196,27 @@ class TestSeededBugs:
                          active=np.array([2, 3]))
         assert ("settled-reactivated", "error") in _rules(san.report())
 
+    def test_multisplit_key_out_of_range(self):
+        """Bucket keys outside [0, B): the device notifies observers
+        *before* its own fail-fast, so the hazard is recorded."""
+        with attached() as san:
+            dev = GPUDevice()
+            with dev.launch("bad_split") as k:
+                with pytest.raises(ValueError):
+                    k.multisplit(np.array([0, 3, -1, 1]), 2,
+                                 thread_per_item(4))
+        assert ("multisplit-key-range", "error") in _rules(san.report())
+        finding = [f for f in san.report().errors
+                   if f.rule == "multisplit-key-range"][0]
+        assert "2 lane(s)" in finding.message
+
+    def test_multisplit_in_range_keys_clean(self):
+        with attached() as san:
+            dev = GPUDevice()
+            with dev.launch("split") as k:
+                k.multisplit(np.array([0, 1, 1, 0]), 2, thread_per_item(4))
+        assert san.report().errors == []
+
     def test_strict_mode_raises(self):
         with pytest.raises(SanitizerError):
             with attached(strict=True):

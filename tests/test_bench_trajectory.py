@@ -180,14 +180,68 @@ class TestDiff:
             make_record(method="bl"),
         ]
         text = format_diff(base, cur, labels=("a", "b"))
-        lines = text.splitlines()
+        headline, deltas = text.split("\n\n")
+        lines = headline.splitlines()
         assert lines[0].startswith("bench diff")
         assert "verdict" in lines[1]
         # three distinct cells: rdbs (paired), adds (only in a), bl (only in b)
         assert len(lines) == 3 + 3
-        assert "DRIFT" in text
-        assert "only in" in text
+        assert "DRIFT" in headline
+        assert "only in" in headline
+        # the appended delta table covers paired cells only
+        assert deltas.splitlines()[0].startswith(
+            "instruction / transaction deltas"
+        )
+        assert len(deltas.splitlines()) == 3 + 1
 
     def test_diff_clean_is_ok(self):
         text = format_diff([make_record()], [make_record()])
         assert "ok" in text and "DRIFT" not in text
+
+
+class TestCounterDeltas:
+    """The per-cell instruction/transaction delta table (bench diff)."""
+
+    def test_sums_components_and_reports_percentages(self):
+        from repro.bench.trajectory import format_counter_deltas
+
+        old = make_record(counters={
+            "inst_executed_global_loads": 60,
+            "inst_executed_global_stores": 30,
+            "inst_executed_atomics": 10,
+            "global_load_transactions": 150,
+            "global_store_transactions": 50,
+        })
+        new = make_record(counters={
+            "inst_executed_global_loads": 40,
+            "inst_executed_global_stores": 5,
+            "inst_executed_atomics": 10,
+            # the multisplit path trades ALU/branch work for ballots,
+            # which count toward the instruction total
+            "inst_executed_ballots": 5,
+            "global_load_transactions": 150,
+            "global_store_transactions": 30,
+        })
+        text = format_counter_deltas([old], [new], labels=("a", "b"))
+        row = text.splitlines()[-1]
+        # instructions: 100 -> 60 (-40%); transactions: 200 -> 180 (-10%)
+        assert "100" in row and "60" in row and "-40.00%" in row
+        assert "200" in row and "180" in row and "-10.00%" in row
+
+    def test_missing_counter_keys_count_as_zero(self):
+        from repro.bench.trajectory import format_counter_deltas
+
+        text = format_counter_deltas(
+            [make_record(counters={})], [make_record(counters={})]
+        )
+        row = text.splitlines()[-1]
+        assert "+0.00%" in row
+
+    def test_unpaired_cells_excluded(self):
+        from repro.bench.trajectory import format_counter_deltas
+
+        text = format_counter_deltas(
+            [make_record(method="adds")], [make_record(method="bl")]
+        )
+        # title + header + separator, no data rows
+        assert len(text.splitlines()) == 3

@@ -96,6 +96,31 @@ class TestCommands:
         assert main(["profile", "kron:8,4", "--method", "rdbs"]) == 0
         out = capsys.readouterr().out
         assert "timeline" in out and "bottlenecks" in out
+        assert "per-primitive host time" in out
+
+    def test_profile_json_schema(self, tmp_path, capsys):
+        """The --json report's per-primitive breakdown: one entry per
+        primitive family with accumulated seconds and call counts."""
+        import json
+
+        path = tmp_path / "prof.json"
+        assert main(["profile", "kron:8,4", "--method", "rdbs",
+                     "--json", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert {"graph", "method", "time_ms", "primitives",
+                "regions", "total_seconds"} <= set(doc)
+        assert doc["method"] == "rdbs"
+        prims = doc["primitives"]
+        # rdbs exercises all three primitive families
+        assert {"sort", "scan", "multisplit"} <= set(prims)
+        for name, row in prims.items():
+            assert set(row) == {"seconds", "calls"}
+            assert row["seconds"] >= 0 and row["calls"] >= 1
+            # the breakdown mirrors the raw region table
+            assert doc["regions"][f"primitive:{name}"]["calls"] \
+                == row["calls"]
+        out = capsys.readouterr().out
+        assert "multisplit" in out
 
     def test_profile_cpu_method_rejected(self):
         with pytest.raises(SystemExit, match="timeline"):

@@ -1,9 +1,15 @@
-"""Tests for the stream-compaction primitive."""
+"""Tests for the stream-compaction primitives."""
 
 import numpy as np
 import pytest
 
-from repro.gpusim import GPUDevice, V100, compact, thread_per_item
+from repro.gpusim import (
+    GPUDevice,
+    V100,
+    compact,
+    compact_multisplit,
+    thread_per_item,
+)
 from repro.gpusim.kernels import grid_stride
 
 
@@ -89,3 +95,67 @@ class TestCompact:
             compact(k, out, keep, values, grid_stride(4096, 1024))
         c = dev.counters.totals
         assert c.global_store_transactions <= 4096 // 4 + 64
+
+
+class TestCompactMultisplit:
+    def _both(self, keep, values, offset=0):
+        """Run compact and compact_multisplit on identical inputs on
+        fresh devices; return (survivors, out, totals) for each."""
+        results = []
+        for fn in (compact, compact_multisplit):
+            dev = GPUDevice(V100)
+            out = dev.zeros(max(values.size, 4) + offset, dtype=np.int64)
+            with dev.launch("k") as k:
+                survivors = fn(k, out, keep, values,
+                               thread_per_item(values.size), offset=offset)
+            results.append((survivors, out.data.copy(),
+                            dev.counters.totals))
+        return results
+
+    @pytest.mark.parametrize("pattern", ["alternating", "all", "none",
+                                         "head", "tail"])
+    def test_output_equivalent_to_compact(self, pattern):
+        values = np.arange(10, 74)
+        keep = {
+            "alternating": values % 2 == 0,
+            "all": np.ones(64, dtype=bool),
+            "none": np.zeros(64, dtype=bool),
+            "head": np.arange(64) < 7,
+            "tail": np.arange(64) >= 57,
+        }[pattern]
+        (s_legacy, out_legacy, _), (s_ms, out_ms, _) = self._both(
+            keep, values
+        )
+        assert np.array_equal(s_ms, s_legacy)
+        assert np.array_equal(out_ms, out_legacy)
+
+    def test_offset_respected(self):
+        (s_legacy, out_legacy, _), (s_ms, out_ms, _) = self._both(
+            np.array([True, False, True]), np.array([5, 6, 7]), offset=2
+        )
+        assert np.array_equal(out_ms, out_legacy)
+        assert list(out_ms[2:4]) == [5, 7]
+
+    def test_strictly_fewer_instructions_same_stores(self):
+        """The B=2 ballot replaces the 2-op ALU scan and the divergent
+        branch; the dense store discipline is shared, so global traffic
+        is identical."""
+        values = np.arange(256)
+        (_, _, c_legacy), (_, _, c_ms) = self._both(
+            values % 3 == 0, values
+        )
+        assert c_ms.total_warp_instructions < c_legacy.total_warp_instructions
+        assert c_ms.total_transactions == c_legacy.total_transactions
+        assert c_ms.multisplit_ops == 1
+        assert c_ms.branch_instructions == 0
+        assert c_legacy.branch_instructions > 0
+
+    def test_overflow_rejected(self):
+        dev = GPUDevice(V100)
+        out = dev.zeros(2, dtype=np.int64)
+        with dev.launch("k") as k:
+            with pytest.raises(ValueError, match="too small"):
+                compact_multisplit(
+                    k, out, np.ones(4, dtype=bool), np.arange(4),
+                    thread_per_item(4),
+                )

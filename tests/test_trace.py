@@ -185,6 +185,56 @@ class TestEvents:
         assert any(e.name == "dist" for e in allocs)
         assert all(e.args["bytes"] > 0 for e in allocs)
 
+    def test_multisplit_telemetry_on_kernel_spans(self, traced_rdbs):
+        """Launches that issued a warp-ballot multisplit carry the four
+        extra args; launches that didn't carry none of them (mirroring
+        the counter snapshot's conditional keys)."""
+        result, tr = traced_rdbs
+        ms_keys = {"histogram_passes", "num_buckets", "warp_ballots",
+                   "shared_transactions"}
+        kernels = [e for e in tr.events if e.kind == "kernel"]
+        with_ms = [e for e in kernels if ms_keys <= set(e.args)]
+        assert with_ms  # RDBS splits in every phase
+        for e in with_ms:
+            assert e.args["histogram_passes"] >= 1
+            assert e.args["num_buckets"] >= 2
+            assert e.args["warp_ballots"] >= 1
+            assert e.args["shared_transactions"] >= 1
+        without = [e for e in kernels if not ms_keys <= set(e.args)]
+        for e in without:
+            assert not (ms_keys & set(e.args))
+        # span telemetry sums to the run totals
+        c = result.counters.totals
+        assert sum(e.args["histogram_passes"] for e in with_ms) \
+            == c.multisplit_ops
+        assert sum(e.args["warp_ballots"] for e in with_ms) \
+            == c.inst_executed_ballots
+
+    def test_multisplit_args_survive_export_round_trips(
+        self, traced_rdbs, tmp_path
+    ):
+        _, tr = traced_rdbs
+        ms_keys = {"histogram_passes", "num_buckets", "warp_ballots",
+                   "shared_transactions"}
+
+        def ms_args(events):
+            return [
+                {k: e.args[k] for k in sorted(ms_keys)}
+                for e in events
+                if e.kind == "kernel" and ms_keys <= set(e.args)
+            ]
+
+        want = ms_args(tr.events)
+        assert want
+        jsonl = tmp_path / "t.jsonl"
+        write_jsonl(tr, str(jsonl))
+        events, _ = load_trace(str(jsonl))
+        assert ms_args(events) == want
+        chrome = tmp_path / "t.json"
+        write_chrome(tr, str(chrome))
+        events, _ = load_trace(str(chrome))
+        assert ms_args(events) == want
+
 
 # ----------------------------------------------------------------------
 # ring buffer bound

@@ -1,6 +1,7 @@
 """Property-based tests for the shared segmented-scan primitives."""
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -9,6 +10,156 @@ from repro.util import (
     segmented_exclusive_cummin,
     serialized_min_outcome,
 )
+from repro.util.scan import (
+    _bincount_range,
+    distinct_count,
+    multisplit_order,
+    sorted_unique_ints,
+    stable_sort_with_order,
+)
+
+
+class TestStableSortWithOrder:
+    """The composite-key fast path must equal NumPy's stable argsort."""
+
+    def test_empty(self):
+        keys, order = stable_sort_with_order(np.zeros(0, dtype=np.int64))
+        assert keys.size == 0 and order.size == 0
+
+    def test_single_key(self):
+        keys, order = stable_sort_with_order(np.array([7], dtype=np.int64))
+        assert list(keys) == [7] and list(order) == [0]
+
+    def test_negative_keys_fall_back_correctly(self):
+        keys = np.array([3, -1, 2, -5, 0], dtype=np.int64)
+        skeys, order = stable_sort_with_order(keys)
+        ref = np.argsort(keys, kind="stable")
+        assert np.array_equal(order, ref)
+        assert np.array_equal(skeys, keys[ref])
+
+    def test_all_equal_keys_preserve_position_order(self):
+        """Stability on ties: the order must be the identity."""
+        for n in (4, 1000):  # fallback path and packed path
+            keys = np.full(n, 5, dtype=np.int64)
+            skeys, order = stable_sort_with_order(keys)
+            assert np.array_equal(order, np.arange(n))
+            assert (skeys == 5).all()
+
+    @given(
+        st.lists(st.integers(0, 10), max_size=50),
+        st.integers(0, 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_stable_argsort(self, vals, scale):
+        # scale=1 repeats the keys past the n>512 packed-sort threshold
+        keys = np.array(vals * (1 if not scale else 200), dtype=np.int64)
+        ref = np.argsort(keys, kind="stable")
+        skeys, order = stable_sort_with_order(keys)
+        assert np.array_equal(order, ref)
+        assert np.array_equal(skeys, keys[ref])
+
+    def test_huge_keys_overflow_guard(self):
+        """Keys too large to pack take the argsort fallback, correctly."""
+        big = 1 << 61
+        keys = np.array([big, 0, big - 1] * 300, dtype=np.int64)
+        skeys, order = stable_sort_with_order(keys)
+        ref = np.argsort(keys, kind="stable")
+        assert np.array_equal(order, ref)
+
+
+class TestDedupPrimitives:
+    """distinct_count / sorted_unique_ints against the np.unique oracle."""
+
+    def test_empty(self):
+        empty = np.zeros(0, dtype=np.int64)
+        assert distinct_count(empty) == 0
+        assert sorted_unique_ints(empty).size == 0
+
+    def test_single_value(self):
+        one = np.array([42], dtype=np.int64)
+        assert distinct_count(one) == 1
+        assert list(sorted_unique_ints(one)) == [42]
+
+    def test_all_equal(self):
+        same = np.full(64, 9, dtype=np.int64)
+        assert distinct_count(same) == 1
+        assert list(sorted_unique_ints(same)) == [9]
+
+    def test_wide_range_takes_unique_fallback(self):
+        vals = np.array([0, 10**12, 5, 10**12], dtype=np.int64)
+        assert _bincount_range(vals) is None
+        assert distinct_count(vals) == 3
+        assert np.array_equal(sorted_unique_ints(vals), np.unique(vals))
+
+    def test_shifted_range(self):
+        """lo > 0: the counting pass shifts, results stay absolute."""
+        vals = np.array([1000, 1002, 1000, 1005], dtype=np.int64)
+        assert _bincount_range(vals) == (1000, 1005)
+        assert distinct_count(vals) == 3
+        assert list(sorted_unique_ints(vals)) == [1000, 1002, 1005]
+
+    @given(st.lists(st.integers(0, 200), min_size=1, max_size=80))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_np_unique(self, vals):
+        arr = np.array(vals, dtype=np.int64)
+        oracle = np.unique(arr)
+        assert distinct_count(arr) == oracle.size
+        got = sorted_unique_ints(arr)
+        assert got.dtype == np.int64
+        assert np.array_equal(got, oracle)
+
+
+class TestMultisplitOrder:
+    """The host reference for the device warp-ballot multisplit."""
+
+    def test_empty(self):
+        order, offsets = multisplit_order(np.zeros(0, dtype=np.int64), 3)
+        assert order.size == 0
+        assert list(offsets) == [0, 0, 0, 0]
+
+    def test_single_key(self):
+        order, offsets = multisplit_order(np.array([1]), 2)
+        assert list(order) == [0]
+        assert list(offsets) == [0, 0, 1]
+
+    def test_all_equal_keys_single_bucket(self):
+        order, offsets = multisplit_order(np.zeros(5, dtype=np.int64), 1)
+        assert np.array_equal(order, np.arange(5))
+        assert list(offsets) == [0, 5]
+
+    def test_num_buckets_below_one_rejected(self):
+        with pytest.raises(ValueError, match="num_buckets"):
+            multisplit_order(np.array([0]), 0)
+
+    def test_negative_key_rejected(self):
+        with pytest.raises(ValueError):
+            multisplit_order(np.array([0, -1]), 2)
+
+    def test_out_of_range_key_rejected(self):
+        with pytest.raises(ValueError, match="must lie in"):
+            multisplit_order(np.array([0, 1, 2]), 2)
+
+    @given(
+        st.integers(1, 6).flatmap(
+            lambda b: st.tuples(
+                st.just(b), st.lists(st.integers(0, b - 1), max_size=60)
+            )
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_matches_stable_argsort_and_bincount(self, case):
+        num_buckets, keys = case
+        keys = np.array(keys, dtype=np.int64)
+        order, offsets = multisplit_order(keys, num_buckets)
+        assert np.array_equal(order, np.argsort(keys, kind="stable"))
+        counts = np.bincount(keys, minlength=num_buckets)
+        assert np.array_equal(np.diff(offsets), counts)
+        assert offsets[0] == 0 and offsets[-1] == keys.size
+        # each bucket's slice carries exactly its keys, in original order
+        for b in range(num_buckets):
+            members = order[offsets[b]:offsets[b + 1]]
+            assert (keys[members] == b).all()
+            assert np.array_equal(members, np.sort(members))
 
 
 class TestSegmentedArange:
