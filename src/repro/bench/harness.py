@@ -17,7 +17,7 @@ from ..graphs.csr import CSRGraph
 from ..gpusim.spec import GPUSpec
 from ..metrics.gteps import geometric_mean
 from ..perf import profile as hostprof
-from ..sssp.api import sssp
+from ..sssp.api import GPU_METHODS, sssp
 from ..sssp.result import SSSPResult
 from ..sssp.validate import validate_distances
 from .datasets import benchmark_spec, get_graph, pick_sources
@@ -94,15 +94,11 @@ def run_method(
         sources = pick_sources(name, num_sources) if graph is None else [0]
     if spec is None:
         spec = benchmark_spec()
-    gpu_methods = {
-        "bl", "near-far", "adds", "rdbs", "basyn", "basyn+pro",
-        "basyn+adwl", "basyn+pro+adwl", "sync-delta", "harish-narayanan",
-    }
     results: list[SSSPResult] = []
     host_seconds = 0.0
     for s in sources:
         kw = dict(kwargs)
-        if method in gpu_methods:
+        if method in GPU_METHODS:
             kw.setdefault("spec", spec)
         t0 = time.perf_counter()
         with hostprof.region(f"solve:{method}"):
@@ -121,7 +117,7 @@ def run_method(
         gteps=statistics.fmean([r.gteps for r in results]),
         update_ratio=statistics.fmean(ratios) if ratios else float("nan"),
         results=results,
-        gpu=spec.name if method in gpu_methods else "cpu",
+        gpu=spec.name if method in GPU_METHODS else "cpu",
         host_seconds=host_seconds,
     )
 

@@ -3,10 +3,11 @@
 A *suite* is a fixed (datasets × methods) matrix whose records form one
 ``BENCH_<suite>.json`` trajectory file:
 
-* ``quick`` — two structurally opposed datasets (power-law Amazon,
-  uniform-degree road-TX) × the headline engines (BL, ADDS, RDBS) plus
-  the Near-Far baseline.  Small enough to run on every pull request
-  (~15 s); rich enough that a change to frontier handling, bucketing,
+* ``quick`` — three structurally opposed datasets (power-law Amazon,
+  uniform-degree road-TX, and the skewed Graph500 kron surrogate
+  ``k-n21-16``) × the headline engines (BL, ADDS, RDBS, MLMQ) plus the
+  Near-Far baseline.  Small enough to run on every pull request
+  (~20 s); rich enough that a change to frontier handling, bucketing,
   the cost model or the counter accounting moves at least one
   deterministic cell.
 * ``paper`` — the full Fig. 8 / Table 2 matrix: the six Fig. 8 datasets ×
@@ -38,8 +39,8 @@ class SuiteSpec:
 SUITES: dict[str, SuiteSpec] = {
     "quick": SuiteSpec(
         name="quick",
-        datasets=("Amazon", "road-TX"),
-        methods=("bl", "adds", "near-far", "rdbs"),
+        datasets=("Amazon", "road-TX", "k-n21-16"),
+        methods=("bl", "adds", "near-far", "rdbs", "mlmq"),
         num_sources=2,
     ),
     "paper": SuiteSpec(

@@ -603,13 +603,9 @@ def _cmd_selfcheck(_args) -> int:
     comp = largest_component_vertices(g)
     source = int(comp[0])
     spec = V100.scaled_for_workload(1 / 64)
-    gpu_methods = {
-        "bl", "near-far", "adds", "rdbs", "basyn", "basyn+pro",
-        "basyn+adwl", "basyn+pro+adwl", "sync-delta", "harish-narayanan",
-    }
     failures = 0
     for m in method_names():
-        kw = {"spec": spec} if m in gpu_methods else {}
+        kw = {"spec": spec} if m in GPU_METHODS else {}
         try:
             r = sssp(g, source, method=m, **kw)
             validate_distances(g, source, r.dist)
@@ -920,7 +916,9 @@ def build_parser() -> argparse.ArgumentParser:
         "sanitize", help="run one method under the hazard sanitizer"
     )
     common(sp)
-    sp.add_argument("--method", default="rdbs", choices=method_names())
+    sp.add_argument("--method", default="rdbs", choices=method_names(),
+                    help="method to sanitize — any registered engine "
+                         "(from the repro.sssp registry): %(choices)s")
     sp.add_argument("--strict", action="store_true",
                     help="raise on the first hazard instead of collecting")
     sp.add_argument("--warnings", action="store_true",

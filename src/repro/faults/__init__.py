@@ -4,7 +4,7 @@ See ``docs/faults.md`` for the fault taxonomy, plan format, recovery policy
 and the zero-overhead-when-off guarantee.
 """
 
-from .driver import GPU_METHODS, faulty_sssp
+from .driver import faulty_sssp
 from .injector import FaultInjector
 from .plan import (
     FAULT_KINDS,
@@ -43,3 +43,16 @@ __all__ = [
     "plan_names",
     "verify_distances_host",
 ]
+
+
+def __getattr__(name: str):
+    """``GPU_METHODS`` resolves lazily through :mod:`repro.faults.driver`.
+
+    It is registry-derived (see the driver), and the engines import this
+    package at module load — an eager re-export here would be circular.
+    """
+    if name == "GPU_METHODS":
+        from .driver import GPU_METHODS
+
+        return GPU_METHODS
+    raise AttributeError(name)

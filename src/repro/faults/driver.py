@@ -18,21 +18,22 @@ from .runtime import RecoveryPolicy, verify_distances_host
 
 __all__ = ["faulty_sssp", "GPU_METHODS"]
 
-#: methods that run on the simulated device (and thus can be injected)
-GPU_METHODS = frozenset(
-    {
-        "bl",
-        "harish-narayanan",
-        "near-far",
-        "adds",
-        "rdbs",
-        "basyn",
-        "basyn+pro",
-        "basyn+adwl",
-        "basyn+pro+adwl",
-        "sync-delta",
-    }
-)
+
+def __getattr__(name: str):
+    """Resolve ``GPU_METHODS`` lazily from the engine registry.
+
+    The set of injectable methods is exactly the set of simulated-GPU
+    engines, so it is derived from :mod:`repro.sssp.api` (single source
+    of truth — a new engine cannot drift out of fault coverage).  The
+    import must be deferred: the engines themselves import
+    ``repro.faults`` (plan/runtime) at module load, so an eager import
+    here would be circular.
+    """
+    if name == "GPU_METHODS":
+        from ..sssp.api import GPU_METHODS
+
+        return GPU_METHODS
+    raise AttributeError(name)
 
 
 def faulty_sssp(
@@ -55,6 +56,7 @@ def faulty_sssp(
     are real.
     """
     from ..sssp import sssp  # lazy: keep repro.faults importable standalone
+    from ..sssp.api import GPU_METHODS
 
     if method not in GPU_METHODS:
         raise ValueError(

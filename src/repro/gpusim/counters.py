@@ -58,6 +58,13 @@ class KernelCounters:
     #: sum of bucket fan-outs over those invocations
     multisplit_buckets: int = 0
 
+    # --- MLMQ work-stealing events ---------------------------------------
+    #: queue-descriptor handoffs between SM-mapped queue groups (each is
+    #: one CAS on the victim queue's head pointer)
+    mlmq_steals: int = 0
+    #: worklist slots that changed owner across those handoffs
+    mlmq_stolen_slots: int = 0
+
     # --- SIMT efficiency ---------------------------------------------------
     #: warp instructions whose active mask was divergent (<32 active lanes)
     divergent_branches: int = 0
@@ -138,11 +145,12 @@ class KernelCounters:
         The four multisplit-era keys (``inst_executed_ballots``,
         ``shared_transactions``, ``multisplit_ops``,
         ``multisplit_buckets``) appear only when the run issued at least
-        one multisplit.  Key presence is a deterministic function of the
-        counted events, and a run with the ``REPRO_NO_MULTISPLIT``
-        fallback active therefore serializes byte-identically to a
-        pre-multisplit build — the property the baseline-compatibility
-        gate pins.
+        one multisplit, and the two MLMQ stealing keys (``mlmq_steals``,
+        ``mlmq_stolen_slots``) only when at least one steal happened.
+        Key presence is a deterministic function of the counted events,
+        and a run with the ``REPRO_NO_MULTISPLIT`` fallback active
+        therefore serializes byte-identically to a pre-multisplit build —
+        the property the baseline-compatibility gate pins.
         """
         multisplit_keys = (
             "inst_executed_ballots",
@@ -150,10 +158,12 @@ class KernelCounters:
             "multisplit_ops",
             "multisplit_buckets",
         )
+        steal_keys = ("mlmq_steals", "mlmq_stolen_slots")
         d: dict[str, float] = {
             f.name: int(getattr(self, f.name))
             for f in fields(self)
-            if self.multisplit_ops or f.name not in multisplit_keys
+            if (self.multisplit_ops or f.name not in multisplit_keys)
+            and (self.mlmq_steals or f.name not in steal_keys)
         }
         d["global_hit_rate"] = float(self.global_hit_rate)
         d["simt_efficiency"] = float(self.simt_efficiency)

@@ -477,6 +477,23 @@ class KernelContext:
         self.counters.async_rounds += count
         self._extra_time += count * self.device.spec.async_round_s
 
+    def mlmq_steal(self, slots: int = 0) -> None:
+        """Account one work-stealing handoff between SM-mapped queue groups.
+
+        The handoff is a single CAS on the victim queue's head descriptor
+        — one warp-level atomic (a lone lane) and one global transaction
+        regardless of how many slots change owner; the slot payload itself
+        is popped through the usual counted loads by the thief.
+        """
+        c = self.counters
+        c.mlmq_steals += 1
+        c.mlmq_stolen_slots += int(slots)
+        c.inst_executed_atomics += 1
+        c.atomic_transactions += 1
+        c.active_lanes += 1
+        c.lane_slots += self.device.spec.warp_size
+        self.critical_instructions += 1
+
 
 class GPUDevice:
     """One simulated GPU with memory, a cache model and a running clock."""

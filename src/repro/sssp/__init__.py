@@ -1,6 +1,6 @@
 """SSSP algorithms: the paper's RDBS plus every baseline it compares against."""
 
-from .api import METHODS, method_names, sssp
+from .api import GPU_METHODS, METHODS, method_names, sssp
 from .batch import BatchResult, draw_sources, run_batch
 from .paths import (
     ShortestPathTree,
@@ -17,6 +17,7 @@ from .errors import ConvergenceError
 from .gpu_adds import adds_sssp
 from .gpu_baseline import bl_sssp
 from .gpu_harish import harish_narayanan_sssp
+from .gpu_mlmq import mlmq_sssp
 from .gpu_nearfar import nearfar_sssp
 from .gpu_rdbs import default_delta, rdbs_sssp
 from .landmarks import LandmarkOracle, build_landmark_oracle, select_landmarks
@@ -27,7 +28,9 @@ from .validate import DistanceMismatch, scipy_distances, validate_distances
 __all__ = [
     "sssp",
     "METHODS",
+    "GPU_METHODS",
     "method_names",
+    "mlmq_sssp",
     "SSSPResult",
     "rdbs_sssp",
     "default_delta",

@@ -14,13 +14,14 @@ from .delta_cpu import delta_stepping_cpu
 from .gpu_adds import adds_sssp
 from .gpu_baseline import bl_sssp
 from .gpu_harish import harish_narayanan_sssp
+from .gpu_mlmq import mlmq_sssp
 from .gpu_nearfar import nearfar_sssp
 from .gpu_rdbs import rdbs_sssp
 from .reference import bellman_ford, dijkstra
 from .rho_stepping import rho_stepping_sssp
 from .result import SSSPResult
 
-__all__ = ["sssp", "METHODS", "method_names"]
+__all__ = ["sssp", "METHODS", "GPU_METHODS", "method_names"]
 
 
 def _rdbs_arm(pro: bool, adwl: bool, basyn: bool) -> Callable[..., SSSPResult]:
@@ -30,16 +31,23 @@ def _rdbs_arm(pro: bool, adwl: bool, basyn: bool) -> Callable[..., SSSPResult]:
     return run
 
 
-#: registry of every runnable method
-METHODS: dict[str, Callable[..., SSSPResult]] = {
-    # references (CPU, exact)
+#: CPU references and competitors
+_CPU_METHODS: dict[str, Callable[..., SSSPResult]] = {
+    # references (exact)
     "dijkstra": lambda g, s, **kw: dijkstra(g, s),
     "bellman-ford": lambda g, s, **kw: bellman_ford(g, s),
-    # CPU competitors
+    # competitors
     "delta-cpu": delta_stepping_cpu,
     "pq-delta*": pq_delta_star_sssp,
     "rho-stepping": rho_stepping_sssp,
-    # GPU baselines
+}
+
+#: simulated-GPU engines (run on :class:`~repro.gpusim.GPUDevice` and
+#: return profiling counters); this dict is the single source of truth
+#: for "is this a GPU method" — the bench harness, the CLI and the fault
+#: driver all derive their membership sets from it
+_GPU_METHODS: dict[str, Callable[..., SSSPResult]] = {
+    # baselines
     "harish-narayanan": harish_narayanan_sssp,
     "bl": bl_sssp,
     "near-far": nearfar_sssp,
@@ -51,7 +59,18 @@ METHODS: dict[str, Callable[..., SSSPResult]] = {
     "basyn+adwl": _rdbs_arm(pro=False, adwl=True, basyn=True),
     "basyn+pro+adwl": _rdbs_arm(pro=True, adwl=True, basyn=True),
     "sync-delta": _rdbs_arm(pro=False, adwl=False, basyn=False),
+    # the multi-level-multi-queue successor (ROADMAP item 1)
+    "mlmq": mlmq_sssp,
 }
+
+#: registry of every runnable method
+METHODS: dict[str, Callable[..., SSSPResult]] = {
+    **_CPU_METHODS,
+    **_GPU_METHODS,
+}
+
+#: names of the simulated-GPU engines, derived from the registry
+GPU_METHODS: frozenset[str] = frozenset(_GPU_METHODS)
 
 
 def method_names() -> list[str]:

@@ -242,6 +242,14 @@ class Tracer:
                 "warp_ballots": int(c.inst_executed_ballots),
                 "shared_transactions": int(c.shared_transactions),
             })
+        if c.mlmq_steals:
+            # MLMQ work-stealing telemetry (docs/mlmq.md): present only
+            # on launches whose queue groups stole, mirroring the counter
+            # snapshot's conditional keys
+            args.update({
+                "steals": int(c.mlmq_steals),
+                "stolen_slots": int(c.mlmq_stolen_slots),
+            })
         self.emit(
             "kernel", ctx.name, (device.time_s - ctx.time_s) * 1e3,
             ctx.time_s * 1e3, self._ordinal(device),
@@ -265,7 +273,8 @@ class Tracer:
                       ts, now - ts, ordinal, args)
             return
         if tag in ("adwl", "async_round", "sync_round", "adds_round",
-                   "adds_split", "bl_round"):
+                   "adds_split", "bl_round", "mlmq_round", "mlmq_steal",
+                   "mlmq_advance"):
             self.emit("counter", tag, now, device=ordinal,
                       args=_scalarize(payload))
             return
